@@ -1,0 +1,144 @@
+// Ablation studies over PareDown's design choices (not in the paper, but
+// answering the questions its Section 4.2 raises):
+//   1. algorithm face-off: aggregation vs PareDown vs exhaustive optimum;
+//   2. tiebreak order: the paper's (indegree, outdegree, level) vs
+//      alternatives, measured by average total after partitioning;
+//   3. counting mode: edge-counted vs signal-counted ports;
+//   4. programmable block size sweep (the paper's "future work" item on
+//      multiple block types).
+//
+// Usage: bench_ablation [designs-per-point]
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "partition/aggregation.h"
+#include "partition/exhaustive.h"
+#include "partition/paredown.h"
+#include "randgen/generator.h"
+
+namespace {
+
+using namespace eblocks;
+using namespace eblocks::partition;
+
+double averageTotal(int inner, int designs, CountingMode mode,
+                    int specIn, int specOut,
+                    PartitionRun (*algo)(const PartitionProblem&)) {
+  double total = 0;
+  for (int d = 0; d < designs; ++d) {
+    const auto net = randgen::randomNetwork(
+        {.innerBlocks = inner,
+         .seed = static_cast<std::uint32_t>(31 * inner + d)});
+    const PartitionProblem problem(net,
+                                   ProgBlockSpec{specIn, specOut, mode});
+    total += algo(problem).result.totalAfter(problem.innerCount());
+  }
+  return total / designs;
+}
+
+PartitionRun runPareDown(const PartitionProblem& p) { return pareDown(p); }
+PartitionRun runAggregation(const PartitionProblem& p) {
+  return aggregation(p);
+}
+PartitionRun runExhaustive(const PartitionProblem& p) {
+  ExhaustiveOptions options;
+  options.timeLimitSeconds = 10;
+  options.seed = pareDown(p).result;
+  return exhaustiveSearch(p, options);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int designs = argc > 1 ? std::atoi(argv[1]) : 40;
+
+  std::printf("Ablation 1: algorithm face-off (avg total after "
+              "partitioning, %d designs per point, 2x2 edges)\n\n", designs);
+  std::printf("%5s | %12s %12s %12s\n", "Inner", "Aggregation", "PareDown",
+              "Exhaustive");
+  for (int n : {4, 6, 8, 10}) {
+    std::printf("%5d | %12.2f %12.2f %12.2f\n", n,
+                averageTotal(n, designs, CountingMode::kEdges, 2, 2,
+                             runAggregation),
+                averageTotal(n, designs, CountingMode::kEdges, 2, 2,
+                             runPareDown),
+                averageTotal(n, designs, CountingMode::kEdges, 2, 2,
+                             runExhaustive));
+  }
+
+  std::printf("\nAblation 2: counting mode (PareDown avg total; signal "
+              "counting shares fanout ports so more merges fit)\n\n");
+  std::printf("%5s | %12s %12s\n", "Inner", "Edges", "Signals");
+  for (int n : {6, 10, 15, 20}) {
+    std::printf("%5d | %12.2f %12.2f\n", n,
+                averageTotal(n, designs, CountingMode::kEdges, 2, 2,
+                             runPareDown),
+                averageTotal(n, designs, CountingMode::kSignals, 2, 2,
+                             runPareDown));
+  }
+
+  std::printf("\nAblation 3: programmable block size sweep (PareDown avg "
+              "total; the paper's future-work axis)\n\n");
+  std::printf("%5s | %8s %8s %8s %8s\n", "Inner", "2x2", "3x2", "2x3",
+              "4x4");
+  for (int n : {10, 15, 20}) {
+    std::printf("%5d | %8.2f %8.2f %8.2f %8.2f\n", n,
+                averageTotal(n, designs, CountingMode::kEdges, 2, 2,
+                             runPareDown),
+                averageTotal(n, designs, CountingMode::kEdges, 3, 2,
+                             runPareDown),
+                averageTotal(n, designs, CountingMode::kEdges, 2, 3,
+                             runPareDown),
+                averageTotal(n, designs, CountingMode::kEdges, 4, 4,
+                             runPareDown));
+  }
+
+  std::printf("\nAblation 4: Figure 4's literal zero-block 'return' vs the "
+              "robust drop-and-continue\n(the literal reading abandons "
+              "every remaining block after one doomed round)\n\n");
+  std::printf("%5s | %14s %14s\n", "Inner", "strict (paper)", "robust (ours)");
+  for (int n : {10, 20, 35, 50}) {
+    double strictTotal = 0, robustTotal = 0;
+    for (int d = 0; d < designs; ++d) {
+      const auto net = randgen::randomNetwork(
+          {.innerBlocks = n,
+           .seed = static_cast<std::uint32_t>(53 * n + d)});
+      const PartitionProblem problem(net, ProgBlockSpec{});
+      PareDownOptions strict;
+      strict.strictFigure4 = true;
+      strictTotal +=
+          pareDown(problem, strict).result.totalAfter(problem.innerCount());
+      robustTotal +=
+          pareDown(problem).result.totalAfter(problem.innerCount());
+    }
+    std::printf("%5d | %14.2f %14.2f\n", n, strictTotal / designs,
+                robustTotal / designs);
+  }
+
+  std::printf("\nAblation 5: classical convexity constraint on the "
+              "exhaustive optimum\n(the packet protocol tolerates "
+              "non-convex partitions; requiring convexity can\nonly cost "
+              "blocks)\n\n");
+  std::printf("%5s | %12s %14s\n", "Inner", "relaxed", "require convex");
+  for (int n : {6, 8, 10}) {
+    double relaxed = 0, convex = 0;
+    for (int d = 0; d < designs; ++d) {
+      const auto net = randgen::randomNetwork(
+          {.innerBlocks = n,
+           .seed = static_cast<std::uint32_t>(59 * n + d)});
+      const PartitionProblem problem(net, ProgBlockSpec{});
+      ExhaustiveOptions loose;
+      loose.timeLimitSeconds = 10;
+      ExhaustiveOptions strict = loose;
+      strict.requireConvex = true;
+      relaxed += exhaustiveSearch(problem, loose)
+                     .result.totalAfter(problem.innerCount());
+      convex += exhaustiveSearch(problem, strict)
+                    .result.totalAfter(problem.innerCount());
+    }
+    std::printf("%5d | %12.2f %14.2f\n", n, relaxed / designs,
+                convex / designs);
+  }
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Google-benchmark microbenchmarks for the hot paths underlying the
+// partitioners: I/O counting, border detection, rank computation, and the
+// end-to-end PareDown run.
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "core/subgraph.h"
+#include "partition/paredown.h"
+#include "randgen/generator.h"
+#include "sim/simulator.h"
+
+namespace {
+
+using namespace eblocks;
+
+const Network& netOf(int inner) {
+  static std::map<int, Network> cache;
+  auto it = cache.find(inner);
+  if (it == cache.end())
+    it = cache
+             .emplace(inner, randgen::randomNetwork(
+                                 {.innerBlocks = inner,
+                                  .seed = static_cast<std::uint32_t>(inner)}))
+             .first;
+  return it->second;
+}
+
+void BM_CountIoEdges(benchmark::State& state) {
+  const Network& net = netOf(static_cast<int>(state.range(0)));
+  const BitSet inner = net.innerSet();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(countIo(net, inner, CountingMode::kEdges));
+}
+BENCHMARK(BM_CountIoEdges)->Arg(10)->Arg(100)->Arg(465);
+
+void BM_CountIoSignals(benchmark::State& state) {
+  const Network& net = netOf(static_cast<int>(state.range(0)));
+  const BitSet inner = net.innerSet();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(countIo(net, inner, CountingMode::kSignals));
+}
+BENCHMARK(BM_CountIoSignals)->Arg(10)->Arg(100)->Arg(465);
+
+void BM_BorderBlocks(benchmark::State& state) {
+  const Network& net = netOf(static_cast<int>(state.range(0)));
+  const BitSet inner = net.innerSet();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(borderBlocks(net, inner));
+}
+BENCHMARK(BM_BorderBlocks)->Arg(10)->Arg(100)->Arg(465);
+
+void BM_Convexity(benchmark::State& state) {
+  const Network& net = netOf(static_cast<int>(state.range(0)));
+  const BitSet inner = net.innerSet();
+  for (auto _ : state) benchmark::DoNotOptimize(isConvex(net, inner));
+}
+BENCHMARK(BM_Convexity)->Arg(10)->Arg(100)->Arg(465);
+
+void BM_PareDownEndToEnd(benchmark::State& state) {
+  const Network& net = netOf(static_cast<int>(state.range(0)));
+  const partition::PartitionProblem problem(net, {});
+  for (auto _ : state)
+    benchmark::DoNotOptimize(partition::pareDown(problem));
+}
+BENCHMARK(BM_PareDownEndToEnd)->Arg(10)->Arg(50)->Arg(200)->Arg(465)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SimulatorSettle(benchmark::State& state) {
+  const Network& net = netOf(static_cast<int>(state.range(0)));
+  sim::SimOptions options;
+  options.recordTrace = false;
+  sim::Simulator simulator(net, options);
+  std::vector<std::string> sensors;
+  for (BlockId b = 0; b < net.blockCount(); ++b)
+    if (net.isSensor(b)) sensors.push_back(net.block(b).name);
+  std::int64_t v = 0;
+  for (auto _ : state) {
+    simulator.setSensor(sensors[static_cast<std::size_t>(v) % sensors.size()],
+                        v & 1);
+    simulator.settle();
+    ++v;
+  }
+}
+BENCHMARK(BM_SimulatorSettle)->Arg(50)->Arg(200)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace

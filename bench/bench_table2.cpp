@@ -1,0 +1,114 @@
+// Reproduces Table 2: exhaustive search vs PareDown over randomly generated
+// designs, bucketed by inner-block count.  For each bucket we report the
+// averages the paper reports: post-partition totals, programmable-block
+// counts, times, block overhead and % overhead (overhead columns only for
+// buckets where exhaustive completes).
+//
+// Usage: bench_table2 [designs-per-small-bucket] [exhaustive-limit-seconds]
+//   Defaults: 60 designs per bucket up to n=13 (paper used hundreds to
+//   thousands), 30 designs for the heuristic-only buckets, 10s limit.
+#include <cstdio>
+#include <cstdlib>
+
+#include "partition/exhaustive.h"
+#include "partition/paredown.h"
+#include "randgen/generator.h"
+
+namespace {
+
+struct Bucket {
+  int inner;
+  bool exhaustive;  // paper has exhaustive data up to 13 inner blocks
+};
+
+constexpr Bucket kBuckets[] = {
+    {3, true},  {4, true},  {5, true},  {6, true},  {7, true},
+    {8, true},  {9, true},  {10, true}, {11, true}, {12, true},
+    {13, true}, {14, false}, {15, false}, {20, false}, {25, false},
+    {35, false}, {45, false},
+};
+
+std::string ms(double seconds) {
+  char buf[32];
+  if (seconds < 0.001)
+    std::snprintf(buf, sizeof buf, "<1ms");
+  else if (seconds < 1.0)
+    std::snprintf(buf, sizeof buf, "%.2fms", seconds * 1e3);
+  else if (seconds < 60)
+    std::snprintf(buf, sizeof buf, "%.2fs", seconds);
+  else
+    std::snprintf(buf, sizeof buf, "%.2fmin", seconds / 60);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int perBucketSmall = argc > 1 ? std::atoi(argv[1]) : 60;
+  const double exLimit = argc > 2 ? std::atof(argv[2]) : 10.0;
+  const int perBucketLarge = std::max(10, perBucketSmall / 2);
+
+  std::printf("Table 2 reproduction: random designs, programmable block "
+              "2x2, edge counting\n");
+  std::printf("(exhaustive limit %.0fs/design; buckets >13 inner are "
+              "heuristic-only, as in the paper)\n\n", exLimit);
+  std::printf("%5s %8s | %9s %9s %10s | %9s %9s %10s | %9s %10s\n", "Inner",
+              "Designs", "Exh.Total", "Exh.Prog", "Exh.Time", "PD.Total",
+              "PD.Prog", "PD.Time", "Overhead", "%Overhead");
+
+  for (const Bucket& bucket : kBuckets) {
+    const int designs = bucket.exhaustive ? perBucketSmall : perBucketLarge;
+    double exTotal = 0, exProg = 0, exTime = 0;
+    double pdTotal = 0, pdProg = 0, pdTime = 0;
+    int exCompleted = 0;
+    for (int d = 0; d < designs; ++d) {
+      const auto net = eblocks::randgen::randomNetwork(
+          {.innerBlocks = bucket.inner,
+           .seed = static_cast<std::uint32_t>(1000 * bucket.inner + d)});
+      const eblocks::partition::PartitionProblem problem(net, {});
+      const int n = problem.innerCount();
+
+      const auto pd = eblocks::partition::pareDown(problem);
+      pdTotal += pd.result.totalAfter(n);
+      pdProg += pd.result.programmableBlocks();
+      pdTime += pd.seconds;
+
+      if (bucket.exhaustive) {
+        eblocks::partition::ExhaustiveOptions exOptions;
+        exOptions.timeLimitSeconds = exLimit;
+        exOptions.seed = pd.result;
+        const auto ex =
+            eblocks::partition::exhaustiveSearch(problem, exOptions);
+        if (ex.optimal) {
+          exTotal += ex.result.totalAfter(n);
+          exProg += ex.result.programmableBlocks();
+          exTime += ex.seconds;
+          ++exCompleted;
+        }
+      }
+    }
+    pdTotal /= designs;
+    pdProg /= designs;
+    pdTime /= designs;
+    if (bucket.exhaustive && exCompleted > 0) {
+      exTotal /= exCompleted;
+      exProg /= exCompleted;
+      exTime /= exCompleted;
+      const double overhead = pdTotal - exTotal;
+      std::printf(
+          "%5d %8d | %9.2f %9.2f %10s | %9.2f %9.2f %10s | %9.2f %9.0f%%\n",
+          bucket.inner, designs, exTotal, exProg, ms(exTime).c_str(), pdTotal,
+          pdProg, ms(pdTime).c_str(), overhead,
+          exTotal > 0 ? 100.0 * overhead / exTotal : 0.0);
+      if (exCompleted < designs)
+        std::printf("      (exhaustive finished %d/%d designs within the "
+                    "limit)\n", exCompleted, designs);
+    } else {
+      std::printf(
+          "%5d %8d | %9s %9s %10s | %9.2f %9.2f %10s | %9s %10s\n",
+          bucket.inner, designs, "--", "--", "--", pdTotal, pdProg,
+          ms(pdTime).c_str(), "--", "--");
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Design-space exploration with the random generator: how much does
+// synthesis shrink typical eBlock networks as they grow, and what would a
+// bigger programmable block buy?  (The paper's Section 6 names the
+// multiple-block-types extension as future work; this example explores it.)
+//
+// Usage: design_space [designs-per-point]
+#include <cstdio>
+#include <cstdlib>
+
+#include "partition/paredown.h"
+#include "randgen/generator.h"
+
+using namespace eblocks;
+
+int main(int argc, char** argv) {
+  const int designs = argc > 1 ? std::atoi(argv[1]) : 30;
+  std::printf("Average network shrinkage by PareDown over %d random designs "
+              "per point\n\n", designs);
+  std::printf("%6s | %10s %10s %10s | %12s\n", "Inner", "2x2", "3x3", "4x4",
+              "best block");
+
+  for (int n : {5, 10, 20, 40, 80}) {
+    double totals[3] = {0, 0, 0};
+    const int specs[3][2] = {{2, 2}, {3, 3}, {4, 4}};
+    for (int d = 0; d < designs; ++d) {
+      const Network net = randgen::randomNetwork(
+          {.innerBlocks = n, .seed = static_cast<std::uint32_t>(97 * n + d)});
+      for (int s = 0; s < 3; ++s) {
+        const partition::PartitionProblem problem(
+            net, partition::ProgBlockSpec{specs[s][0], specs[s][1]});
+        totals[s] +=
+            partition::pareDown(problem).result.totalAfter(problem.innerCount());
+      }
+    }
+    for (double& t : totals) t /= designs;
+    const int best = totals[0] <= totals[1]
+                         ? (totals[0] <= totals[2] ? 0 : 2)
+                         : (totals[1] <= totals[2] ? 1 : 2);
+    std::printf("%6d | %10.2f %10.2f %10.2f | %dx%d\n", n, totals[0],
+                totals[1], totals[2], specs[best][0], specs[best][1]);
+  }
+
+  std::printf("\nReduction ratio (2x2): totals above divided by the inner "
+              "count show the\nfraction of blocks a deployment would still "
+              "need to buy after synthesis.\n");
+  return 0;
+}

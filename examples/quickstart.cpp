@@ -1,0 +1,66 @@
+// Quickstart: the paper's running example (Figure 1), end to end.
+//
+// Builds the garage-open-at-night system from catalog blocks, simulates it,
+// synthesizes it onto programmable blocks with PareDown, verifies the
+// optimized network behaves identically, and prints the generated C code
+// that would be downloaded onto the physical programmable eBlock.
+#include <cstdio>
+
+#include "blocks/catalog.h"
+#include "sim/equivalence.h"
+#include "sim/simulator.h"
+#include "synth/synthesizer.h"
+
+using namespace eblocks;
+
+int main() {
+  // --- capture: draw the network -----------------------------------------
+  const auto& cat = blocks::defaultCatalog();
+  Network net("Garage Open At Night");
+  const BlockId door = net.addBlock("garage_door", cat.contactSwitch());
+  const BlockId light = net.addBlock("daylight", cat.lightSensor());
+  const BlockId dark = net.addBlock("is_dark", cat.inverter());
+  const BlockId bad = net.addBlock("open_at_night", cat.and2());
+  const BlockId lamp = net.addBlock("bedroom_led", cat.led());
+  net.connect(light, 0, dark, 0);
+  net.connect(door, 0, bad, 0);
+  net.connect(dark, 0, bad, 1);
+  net.connect(bad, 0, lamp, 0);
+
+  // --- simulate the pre-defined-block network ------------------------------
+  std::printf("== Simulating the captured network\n");
+  sim::Simulator simulator(net);
+  simulator.apply("garage_door", 1);
+  std::printf("door open at night  -> bedroom LED = %lld\n",
+              static_cast<long long>(simulator.outputValue("bedroom_led")));
+  simulator.apply("daylight", 1);
+  std::printf("sun rises           -> bedroom LED = %lld\n",
+              static_cast<long long>(simulator.outputValue("bedroom_led")));
+
+  // --- synthesize ----------------------------------------------------------
+  std::printf("\n== Synthesizing with PareDown (programmable block: 2 "
+              "inputs, 2 outputs)\n");
+  const synth::SynthResult result = synth::synthesize(net);
+  std::printf("%s\n", result.report().c_str());
+
+  // --- verify equivalence ---------------------------------------------------
+  sim::Stimulus script;
+  script.set("garage_door", 1)
+      .set("daylight", 1)
+      .set("daylight", 0)
+      .set("garage_door", 0);
+  if (const auto mismatch = sim::checkEquivalence(net, result.network, script)) {
+    std::printf("MISMATCH: %s\n", mismatch->describe().c_str());
+    return 1;
+  }
+  std::printf("equivalence check: original and synthesized networks agree "
+              "on all %zu steps\n", script.steps().size());
+
+  // --- show the generated C ------------------------------------------------
+  for (const auto& block : result.blocks) {
+    std::printf("\n== Generated C for %s (replaces:", block.instanceName.c_str());
+    for (const auto& r : block.replaced) std::printf(" %s", r.c_str());
+    std::printf(")\n%s", block.cSource.c_str());
+  }
+  return 0;
+}

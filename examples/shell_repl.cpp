@@ -1,0 +1,26 @@
+// Interactive capture/simulate/synthesize shell -- the command-line
+// counterpart of the paper's GUI tool chain (Figure 2).  Try:
+//
+//   $ ./eblocks_shell
+//   > design Podium Timer 3
+//   > sim
+//   > press start_button
+//   > tick 12
+//   > synth paredown 2 2
+//   > use synth
+//   > press start_button
+//   > emitc prog0
+//
+// Pipe a script for batch use: ./eblocks_shell < script.ebsh
+#include <iostream>
+
+#include "shell/shell.h"
+
+int main() {
+  eblocks::shell::Shell shell;
+  const bool interactive = static_cast<bool>(std::cin.rdbuf());
+  if (interactive)
+    std::cout << "eblocks shell -- 'help' lists commands, 'quit' leaves\n";
+  shell.run(std::cin, std::cout, /*echo=*/false);
+  return 0;
+}

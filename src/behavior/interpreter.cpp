@@ -1,0 +1,92 @@
+#include "behavior/interpreter.h"
+
+namespace eblocks::behavior {
+
+std::int64_t Environment::get(const std::string& name) const {
+  const auto it = vars_.find(name);
+  if (it == vars_.end()) throw EvalError("unbound variable: " + name);
+  return it->second;
+}
+
+void Environment::set(const std::string& name, std::int64_t value) {
+  vars_[name] = value;
+}
+
+std::int64_t evaluate(const Expr& e, const Environment& env) {
+  switch (e.kind) {
+    case ExprKind::kIntLit:
+      return e.intValue;
+    case ExprKind::kVarRef:
+      return env.get(e.name);
+    case ExprKind::kUnary: {
+      const std::int64_t v = evaluate(*e.lhs, env);
+      return e.uop == UnaryOp::kNot ? (v == 0 ? 1 : 0) : -v;
+    }
+    case ExprKind::kBinary: {
+      // Short-circuit for logical operators.
+      if (e.bop == BinaryOp::kAnd) {
+        if (evaluate(*e.lhs, env) == 0) return 0;
+        return evaluate(*e.rhs, env) != 0 ? 1 : 0;
+      }
+      if (e.bop == BinaryOp::kOr) {
+        if (evaluate(*e.lhs, env) != 0) return 1;
+        return evaluate(*e.rhs, env) != 0 ? 1 : 0;
+      }
+      const std::int64_t a = evaluate(*e.lhs, env);
+      const std::int64_t b = evaluate(*e.rhs, env);
+      switch (e.bop) {
+        case BinaryOp::kAdd: return a + b;
+        case BinaryOp::kSub: return a - b;
+        case BinaryOp::kMul: return a * b;
+        case BinaryOp::kDiv:
+          if (b == 0) throw EvalError("division by zero");
+          return a / b;
+        case BinaryOp::kMod:
+          if (b == 0) throw EvalError("modulo by zero");
+          return a % b;
+        case BinaryOp::kEq: return a == b;
+        case BinaryOp::kNe: return a != b;
+        case BinaryOp::kLt: return a < b;
+        case BinaryOp::kLe: return a <= b;
+        case BinaryOp::kGt: return a > b;
+        case BinaryOp::kGe: return a >= b;
+        case BinaryOp::kAnd:
+        case BinaryOp::kOr: break;  // handled above
+      }
+      throw EvalError("unreachable binary operator");
+    }
+  }
+  throw EvalError("unreachable expression kind");
+}
+
+namespace {
+
+void executeStmt(const Stmt& s, Environment& env) {
+  switch (s.kind) {
+    case StmtKind::kVarDecl:
+      break;  // state persists between activations
+    case StmtKind::kAssign:
+      env.set(s.name, evaluate(*s.expr, env));
+      break;
+    case StmtKind::kIf: {
+      const auto& body =
+          evaluate(*s.expr, env) != 0 ? s.thenBody : s.elseBody;
+      for (const StmtPtr& t : body) executeStmt(*t, env);
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+void execute(const Program& p, Environment& env) {
+  for (const StmtPtr& s : p.statements) executeStmt(*s, env);
+}
+
+void initializeState(const Program& p, Environment& env) {
+  for (const StmtPtr& s : p.statements)
+    if (s->kind == StmtKind::kVarDecl)
+      env.set(s->name, evaluate(*s->expr, env));
+}
+
+}  // namespace eblocks::behavior

@@ -1,0 +1,164 @@
+#include "behavior/lexer.h"
+
+#include <cctype>
+#include <unordered_map>
+
+namespace eblocks::behavior {
+
+const char* toString(TokenKind k) {
+  switch (k) {
+    case TokenKind::kEnd: return "<end>";
+    case TokenKind::kIdent: return "identifier";
+    case TokenKind::kIntLit: return "integer";
+    case TokenKind::kKwVar: return "'var'";
+    case TokenKind::kKwIf: return "'if'";
+    case TokenKind::kKwElse: return "'else'";
+    case TokenKind::kKwTrue: return "'true'";
+    case TokenKind::kKwFalse: return "'false'";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kLBrace: return "'{'";
+    case TokenKind::kRBrace: return "'}'";
+    case TokenKind::kSemicolon: return "';'";
+    case TokenKind::kAssign: return "'='";
+    case TokenKind::kEq: return "'=='";
+    case TokenKind::kNe: return "'!='";
+    case TokenKind::kLt: return "'<'";
+    case TokenKind::kLe: return "'<='";
+    case TokenKind::kGt: return "'>'";
+    case TokenKind::kGe: return "'>='";
+    case TokenKind::kPlus: return "'+'";
+    case TokenKind::kMinus: return "'-'";
+    case TokenKind::kStar: return "'*'";
+    case TokenKind::kSlash: return "'/'";
+    case TokenKind::kPercent: return "'%'";
+    case TokenKind::kAndAnd: return "'&&'";
+    case TokenKind::kOrOr: return "'||'";
+    case TokenKind::kBang: return "'!'";
+  }
+  return "?";
+}
+
+LexError::LexError(const std::string& what, int line, int column)
+    : std::runtime_error("lex error at " + std::to_string(line) + ":" +
+                         std::to_string(column) + ": " + what),
+      line_(line),
+      column_(column) {}
+
+namespace {
+
+const std::unordered_map<std::string_view, TokenKind>& keywords() {
+  static const std::unordered_map<std::string_view, TokenKind> kw = {
+      {"var", TokenKind::kKwVar},
+      {"if", TokenKind::kKwIf},
+      {"else", TokenKind::kKwElse},
+      {"true", TokenKind::kKwTrue},
+      {"false", TokenKind::kKwFalse},
+  };
+  return kw;
+}
+
+}  // namespace
+
+std::vector<Token> lex(std::string_view src) {
+  std::vector<Token> out;
+  std::size_t i = 0;
+  int line = 1, col = 1;
+  auto advance = [&](std::size_t n) {
+    for (std::size_t k = 0; k < n; ++k, ++i) {
+      if (i < src.size() && src[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+  };
+  auto push = [&](TokenKind kind, std::size_t len) {
+    Token t;
+    t.kind = kind;
+    t.line = line;
+    t.column = col;
+    t.text = std::string(src.substr(i, len));
+    out.push_back(t);
+    advance(len);
+  };
+  while (i < src.size()) {
+    const char c = src[i];
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      advance(1);
+      continue;
+    }
+    if (c == '#' || (c == '/' && i + 1 < src.size() && src[i + 1] == '/')) {
+      while (i < src.size() && src[i] != '\n') advance(1);
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t len = 0;
+      std::int64_t v = 0;
+      while (i + len < src.size() &&
+             std::isdigit(static_cast<unsigned char>(src[i + len]))) {
+        v = v * 10 + (src[i + len] - '0');
+        if (v > 0x7fffffff)
+          throw LexError("integer literal too large", line, col);
+        ++len;
+      }
+      Token t;
+      t.kind = TokenKind::kIntLit;
+      t.intValue = v;
+      t.line = line;
+      t.column = col;
+      t.text = std::string(src.substr(i, len));
+      out.push_back(t);
+      advance(len);
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t len = 0;
+      while (i + len < src.size() &&
+             (std::isalnum(static_cast<unsigned char>(src[i + len])) ||
+              src[i + len] == '_'))
+        ++len;
+      const std::string_view word = src.substr(i, len);
+      const auto it = keywords().find(word);
+      push(it != keywords().end() ? it->second : TokenKind::kIdent, len);
+      continue;
+    }
+    auto two = [&](char a, char b) {
+      return c == a && i + 1 < src.size() && src[i + 1] == b;
+    };
+    if (two('=', '=')) { push(TokenKind::kEq, 2); continue; }
+    if (two('!', '=')) { push(TokenKind::kNe, 2); continue; }
+    if (two('<', '=')) { push(TokenKind::kLe, 2); continue; }
+    if (two('>', '=')) { push(TokenKind::kGe, 2); continue; }
+    if (two('&', '&')) { push(TokenKind::kAndAnd, 2); continue; }
+    if (two('|', '|')) { push(TokenKind::kOrOr, 2); continue; }
+    switch (c) {
+      case '(': push(TokenKind::kLParen, 1); continue;
+      case ')': push(TokenKind::kRParen, 1); continue;
+      case '{': push(TokenKind::kLBrace, 1); continue;
+      case '}': push(TokenKind::kRBrace, 1); continue;
+      case ';': push(TokenKind::kSemicolon, 1); continue;
+      case '=': push(TokenKind::kAssign, 1); continue;
+      case '<': push(TokenKind::kLt, 1); continue;
+      case '>': push(TokenKind::kGt, 1); continue;
+      case '+': push(TokenKind::kPlus, 1); continue;
+      case '-': push(TokenKind::kMinus, 1); continue;
+      case '*': push(TokenKind::kStar, 1); continue;
+      case '/': push(TokenKind::kSlash, 1); continue;
+      case '%': push(TokenKind::kPercent, 1); continue;
+      case '!': push(TokenKind::kBang, 1); continue;
+      default:
+        throw LexError(std::string("unexpected character '") + c + "'", line,
+                       col);
+    }
+  }
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.line = line;
+  end.column = col;
+  out.push_back(end);
+  return out;
+}
+
+}  // namespace eblocks::behavior

@@ -1,0 +1,30 @@
+// Hand-written lexer for the behavior DSL.
+#ifndef EBLOCKS_BEHAVIOR_LEXER_H_
+#define EBLOCKS_BEHAVIOR_LEXER_H_
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "behavior/token.h"
+
+namespace eblocks::behavior {
+
+/// Thrown on malformed source (unknown character, bad literal).
+class LexError : public std::runtime_error {
+ public:
+  LexError(const std::string& what, int line, int column);
+  int line() const { return line_; }
+  int column() const { return column_; }
+
+ private:
+  int line_, column_;
+};
+
+/// Tokenizes a full program.  `#` and `//` start comments to end of line.
+std::vector<Token> lex(std::string_view source);
+
+}  // namespace eblocks::behavior
+
+#endif  // EBLOCKS_BEHAVIOR_LEXER_H_

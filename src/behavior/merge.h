@@ -1,0 +1,24 @@
+// Program merging: concatenates block programs into one program.
+//
+// The code generator orders the per-block syntax trees by non-decreasing
+// level and splices them into a single tree; declarations are hoisted to
+// the top so merged state keeps reset semantics.
+#ifndef EBLOCKS_BEHAVIOR_MERGE_H_
+#define EBLOCKS_BEHAVIOR_MERGE_H_
+
+#include <vector>
+
+#include "behavior/ast.h"
+
+namespace eblocks::behavior {
+
+/// Concatenates `parts` in order into one program.  All `var` declarations
+/// are hoisted (in encounter order) ahead of the executable statements.
+/// Callers are responsible for renaming name clashes beforehand (see
+/// rename.h); duplicate declarations after the merge throw
+/// std::invalid_argument.
+Program mergePrograms(std::vector<Program> parts);
+
+}  // namespace eblocks::behavior
+
+#endif  // EBLOCKS_BEHAVIOR_MERGE_H_

@@ -1,0 +1,216 @@
+#include "behavior/parser.h"
+
+#include <utility>
+
+#include "behavior/lexer.h"
+
+namespace eblocks::behavior {
+
+ParseError::ParseError(const std::string& what, int line, int column)
+    : std::runtime_error("parse error at " + std::to_string(line) + ":" +
+                         std::to_string(column) + ": " + what),
+      line_(line),
+      column_(column) {}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Program parseProgram() {
+    Program p;
+    while (!at(TokenKind::kEnd)) p.statements.push_back(parseStmt(true));
+    return p;
+  }
+
+  ExprPtr parseSingleExpression() {
+    ExprPtr e = parseExpr();
+    expect(TokenKind::kEnd, "end of expression");
+    return e;
+  }
+
+ private:
+  const Token& cur() const { return tokens_[pos_]; }
+  bool at(TokenKind k) const { return cur().kind == k; }
+
+  Token take() { return tokens_[pos_++]; }
+
+  Token expect(TokenKind k, const char* what) {
+    if (!at(k))
+      throw ParseError(std::string("expected ") + what + ", found " +
+                           toString(cur().kind),
+                       cur().line, cur().column);
+    return take();
+  }
+
+  bool accept(TokenKind k) {
+    if (!at(k)) return false;
+    ++pos_;
+    return true;
+  }
+
+  StmtPtr parseStmt(bool allowDecl) {
+    if (at(TokenKind::kKwVar)) {
+      if (!allowDecl)
+        throw ParseError(
+            "'var' declarations are only allowed at the top level "
+            "(state initialization has reset semantics)",
+            cur().line, cur().column);
+      take();
+      Token name = expect(TokenKind::kIdent, "variable name");
+      expect(TokenKind::kAssign, "'=' after variable name");
+      ExprPtr init = parseExpr();
+      expect(TokenKind::kSemicolon, "';' after declaration");
+      return makeVarDecl(name.text, std::move(init));
+    }
+    if (at(TokenKind::kKwIf)) return parseIf();
+    if (at(TokenKind::kIdent)) {
+      Token name = take();
+      expect(TokenKind::kAssign, "'=' in assignment");
+      ExprPtr rhs = parseExpr();
+      expect(TokenKind::kSemicolon, "';' after assignment");
+      return makeAssign(name.text, std::move(rhs));
+    }
+    throw ParseError("expected statement, found " +
+                         std::string(toString(cur().kind)),
+                     cur().line, cur().column);
+  }
+
+  StmtPtr parseIf() {
+    expect(TokenKind::kKwIf, "'if'");
+    expect(TokenKind::kLParen, "'(' after 'if'");
+    ExprPtr cond = parseExpr();
+    expect(TokenKind::kRParen, "')' after condition");
+    std::vector<StmtPtr> thenBody = parseBlock();
+    std::vector<StmtPtr> elseBody;
+    if (accept(TokenKind::kKwElse)) {
+      if (at(TokenKind::kKwIf)) {
+        elseBody.push_back(parseIf());  // else-if chain
+      } else {
+        elseBody = parseBlock();
+      }
+    }
+    return makeIf(std::move(cond), std::move(thenBody), std::move(elseBody));
+  }
+
+  std::vector<StmtPtr> parseBlock() {
+    expect(TokenKind::kLBrace, "'{'");
+    std::vector<StmtPtr> body;
+    while (!at(TokenKind::kRBrace)) {
+      if (at(TokenKind::kEnd))
+        throw ParseError("unterminated block", cur().line, cur().column);
+      body.push_back(parseStmt(false));
+    }
+    take();  // consume '}'
+    return body;
+  }
+
+  ExprPtr parseExpr() { return parseOr(); }
+
+  ExprPtr parseOr() {
+    ExprPtr lhs = parseAnd();
+    while (accept(TokenKind::kOrOr))
+      lhs = makeBinary(BinaryOp::kOr, std::move(lhs), parseAnd());
+    return lhs;
+  }
+
+  ExprPtr parseAnd() {
+    ExprPtr lhs = parseEquality();
+    while (accept(TokenKind::kAndAnd))
+      lhs = makeBinary(BinaryOp::kAnd, std::move(lhs), parseEquality());
+    return lhs;
+  }
+
+  ExprPtr parseEquality() {
+    ExprPtr lhs = parseRel();
+    for (;;) {
+      if (accept(TokenKind::kEq))
+        lhs = makeBinary(BinaryOp::kEq, std::move(lhs), parseRel());
+      else if (accept(TokenKind::kNe))
+        lhs = makeBinary(BinaryOp::kNe, std::move(lhs), parseRel());
+      else
+        return lhs;
+    }
+  }
+
+  ExprPtr parseRel() {
+    ExprPtr lhs = parseAdd();
+    for (;;) {
+      if (accept(TokenKind::kLt))
+        lhs = makeBinary(BinaryOp::kLt, std::move(lhs), parseAdd());
+      else if (accept(TokenKind::kLe))
+        lhs = makeBinary(BinaryOp::kLe, std::move(lhs), parseAdd());
+      else if (accept(TokenKind::kGt))
+        lhs = makeBinary(BinaryOp::kGt, std::move(lhs), parseAdd());
+      else if (accept(TokenKind::kGe))
+        lhs = makeBinary(BinaryOp::kGe, std::move(lhs), parseAdd());
+      else
+        return lhs;
+    }
+  }
+
+  ExprPtr parseAdd() {
+    ExprPtr lhs = parseMul();
+    for (;;) {
+      if (accept(TokenKind::kPlus))
+        lhs = makeBinary(BinaryOp::kAdd, std::move(lhs), parseMul());
+      else if (accept(TokenKind::kMinus))
+        lhs = makeBinary(BinaryOp::kSub, std::move(lhs), parseMul());
+      else
+        return lhs;
+    }
+  }
+
+  ExprPtr parseMul() {
+    ExprPtr lhs = parseUnary();
+    for (;;) {
+      if (accept(TokenKind::kStar))
+        lhs = makeBinary(BinaryOp::kMul, std::move(lhs), parseUnary());
+      else if (accept(TokenKind::kSlash))
+        lhs = makeBinary(BinaryOp::kDiv, std::move(lhs), parseUnary());
+      else if (accept(TokenKind::kPercent))
+        lhs = makeBinary(BinaryOp::kMod, std::move(lhs), parseUnary());
+      else
+        return lhs;
+    }
+  }
+
+  ExprPtr parseUnary() {
+    if (accept(TokenKind::kBang))
+      return makeUnary(UnaryOp::kNot, parseUnary());
+    if (accept(TokenKind::kMinus))
+      return makeUnary(UnaryOp::kNeg, parseUnary());
+    return parsePrimary();
+  }
+
+  ExprPtr parsePrimary() {
+    if (at(TokenKind::kIntLit)) return makeIntLit(take().intValue);
+    if (accept(TokenKind::kKwTrue)) return makeIntLit(1);
+    if (accept(TokenKind::kKwFalse)) return makeIntLit(0);
+    if (at(TokenKind::kIdent)) return makeVarRef(take().text);
+    if (accept(TokenKind::kLParen)) {
+      ExprPtr e = parseExpr();
+      expect(TokenKind::kRParen, "')'");
+      return e;
+    }
+    throw ParseError("expected expression, found " +
+                         std::string(toString(cur().kind)),
+                     cur().line, cur().column);
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Program parse(std::string_view source) {
+  return Parser(lex(source)).parseProgram();
+}
+
+ExprPtr parseExpression(std::string_view source) {
+  return Parser(lex(source)).parseSingleExpression();
+}
+
+}  // namespace eblocks::behavior

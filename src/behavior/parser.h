@@ -1,0 +1,48 @@
+// Recursive-descent parser for the behavior DSL.
+//
+// Grammar (C-like precedence):
+//   program   := stmt*
+//   stmt      := 'var' IDENT '=' expr ';'
+//              | IDENT '=' expr ';'
+//              | 'if' '(' expr ')' block ('else' (block | if-stmt))?
+//   block     := '{' stmt* '}'
+//   expr      := or
+//   or        := and ('||' and)*
+//   and       := equality ('&&' equality)*
+//   equality  := rel (('=='|'!=') rel)*
+//   rel       := add (('<'|'<='|'>'|'>=') add)*
+//   add       := mul (('+'|'-') mul)*
+//   mul       := unary (('*'|'/'|'%') unary)*
+//   unary     := ('!'|'-') unary | primary
+//   primary   := INT | 'true' | 'false' | IDENT | '(' expr ')'
+#ifndef EBLOCKS_BEHAVIOR_PARSER_H_
+#define EBLOCKS_BEHAVIOR_PARSER_H_
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "behavior/ast.h"
+
+namespace eblocks::behavior {
+
+/// Thrown on syntactically invalid programs.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(const std::string& what, int line, int column);
+  int line() const { return line_; }
+  int column() const { return column_; }
+
+ private:
+  int line_, column_;
+};
+
+/// Parses a full behavior program.  Throws LexError / ParseError.
+Program parse(std::string_view source);
+
+/// Parses a single expression (useful in tests).
+ExprPtr parseExpression(std::string_view source);
+
+}  // namespace eblocks::behavior
+
+#endif  // EBLOCKS_BEHAVIOR_PARSER_H_

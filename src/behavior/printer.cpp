@@ -1,0 +1,68 @@
+#include "behavior/printer.h"
+
+#include <string>
+
+namespace eblocks::behavior {
+
+namespace {
+
+std::string ind(int n) { return std::string(static_cast<std::size_t>(n) * 2, ' '); }
+
+}  // namespace
+
+std::string toSource(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::kIntLit:
+      return std::to_string(e.intValue);
+    case ExprKind::kVarRef:
+      return e.name;
+    case ExprKind::kUnary: {
+      const std::string inner = toSource(*e.lhs);
+      const bool atom = e.lhs->kind == ExprKind::kIntLit ||
+                        e.lhs->kind == ExprKind::kVarRef;
+      return std::string(toString(e.uop)) + (atom ? inner : "(" + inner + ")");
+    }
+    case ExprKind::kBinary: {
+      auto side = [](const Expr& s) {
+        const std::string src = toSource(s);
+        const bool atom =
+            s.kind == ExprKind::kIntLit || s.kind == ExprKind::kVarRef;
+        return atom ? src : "(" + src + ")";
+      };
+      return side(*e.lhs) + " " + toString(e.bop) + " " + side(*e.rhs);
+    }
+  }
+  return "?";
+}
+
+std::string toSource(const Stmt& s, int indent) {
+  switch (s.kind) {
+    case StmtKind::kVarDecl:
+      return ind(indent) + "var " + s.name + " = " + toSource(*s.expr) + ";";
+    case StmtKind::kAssign:
+      return ind(indent) + s.name + " = " + toSource(*s.expr) + ";";
+    case StmtKind::kIf: {
+      std::string out =
+          ind(indent) + "if (" + toSource(*s.expr) + ") {\n";
+      for (const StmtPtr& t : s.thenBody)
+        out += toSource(*t, indent + 1) + "\n";
+      out += ind(indent) + "}";
+      if (!s.elseBody.empty()) {
+        out += " else {\n";
+        for (const StmtPtr& t : s.elseBody)
+          out += toSource(*t, indent + 1) + "\n";
+        out += ind(indent) + "}";
+      }
+      return out;
+    }
+  }
+  return "?";
+}
+
+std::string toSource(const Program& p) {
+  std::string out;
+  for (const StmtPtr& s : p.statements) out += toSource(*s, 0) + "\n";
+  return out;
+}
+
+}  // namespace eblocks::behavior

@@ -1,0 +1,25 @@
+// Pretty-printer: AST -> DSL source.  Round-trips through the parser, which
+// the tests rely on, and renders merged programs for humans and goldens.
+#ifndef EBLOCKS_BEHAVIOR_PRINTER_H_
+#define EBLOCKS_BEHAVIOR_PRINTER_H_
+
+#include <string>
+
+#include "behavior/ast.h"
+
+namespace eblocks::behavior {
+
+/// Renders an expression with minimal parentheses (fully parenthesized
+/// compound subexpressions; atoms bare).
+std::string toSource(const Expr& e);
+
+/// Renders a statement (multi-line for if/else), indented by `indent`
+/// levels of two spaces.
+std::string toSource(const Stmt& s, int indent = 0);
+
+/// Renders a whole program.
+std::string toSource(const Program& p);
+
+}  // namespace eblocks::behavior
+
+#endif  // EBLOCKS_BEHAVIOR_PRINTER_H_

@@ -1,0 +1,28 @@
+#include "behavior/rename.h"
+
+namespace eblocks::behavior {
+
+void renameVars(Expr& e, const RenameMap& renames) {
+  if (e.kind == ExprKind::kVarRef) {
+    const auto it = renames.find(e.name);
+    if (it != renames.end()) e.name = it->second;
+  }
+  if (e.lhs) renameVars(*e.lhs, renames);
+  if (e.rhs) renameVars(*e.rhs, renames);
+}
+
+void renameVars(Stmt& s, const RenameMap& renames) {
+  if (s.kind == StmtKind::kVarDecl || s.kind == StmtKind::kAssign) {
+    const auto it = renames.find(s.name);
+    if (it != renames.end()) s.name = it->second;
+  }
+  if (s.expr) renameVars(*s.expr, renames);
+  for (StmtPtr& t : s.thenBody) renameVars(*t, renames);
+  for (StmtPtr& t : s.elseBody) renameVars(*t, renames);
+}
+
+void renameVars(Program& p, const RenameMap& renames) {
+  for (StmtPtr& s : p.statements) renameVars(*s, renames);
+}
+
+}  // namespace eblocks::behavior

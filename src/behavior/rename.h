@@ -1,0 +1,28 @@
+// Variable renaming over behavior ASTs.
+//
+// Code generation merges many block programs into one; "in the event that
+// two or more blocks share variable names in their internal behavior code,
+// the conflict is resolved through variable renaming" (Section 3.3).  The
+// same machinery rewires a block's port names to the merged program's
+// internal wire variables.
+#ifndef EBLOCKS_BEHAVIOR_RENAME_H_
+#define EBLOCKS_BEHAVIOR_RENAME_H_
+
+#include <string>
+#include <unordered_map>
+
+#include "behavior/ast.h"
+
+namespace eblocks::behavior {
+
+using RenameMap = std::unordered_map<std::string, std::string>;
+
+/// Rewrites every variable reference, assignment target, and declaration
+/// whose name appears in `renames`, in place.
+void renameVars(Program& p, const RenameMap& renames);
+void renameVars(Stmt& s, const RenameMap& renames);
+void renameVars(Expr& e, const RenameMap& renames);
+
+}  // namespace eblocks::behavior
+
+#endif  // EBLOCKS_BEHAVIOR_RENAME_H_

@@ -1,0 +1,32 @@
+// C code emission for programmable blocks (Section 3.3: "translate the
+// syntax tree into C code for downloading and use in a physical block").
+//
+// The emitted unit is self-contained C99 (no vendor headers): a state
+// struct, a reset function, and an eval function.  The physical target in
+// the paper is a Microchip PIC16F628 (2KB program memory); we additionally
+// emit an optional main-loop skeleton documenting the packet RX/TX hooks a
+// firmware port would fill in, and an optional self-test harness used by
+// the integration tests to co-simulate emitted C against the interpreter.
+#ifndef EBLOCKS_CODEGEN_C_EMITTER_H_
+#define EBLOCKS_CODEGEN_C_EMITTER_H_
+
+#include <string>
+
+#include "codegen/merge_program.h"
+
+namespace eblocks::codegen {
+
+struct CEmitOptions {
+  std::string symbolPrefix = "eb";  ///< prefix for emitted symbols
+  bool emitMainSkeleton = false;    ///< PIC-style main loop with stubs
+  bool emitTestHarness = false;     ///< stdin/stdout vector harness (main())
+};
+
+/// Emits a compilable C translation unit for the merged program.
+/// Throws CodegenError when the program references names that are neither
+/// declared variables, ports, nor `tick`.
+std::string emitC(const MergedProgram& merged, const CEmitOptions& options = {});
+
+}  // namespace eblocks::codegen
+
+#endif  // EBLOCKS_CODEGEN_C_EMITTER_H_

@@ -1,0 +1,20 @@
+#include "codegen/level_order.h"
+
+#include <algorithm>
+
+namespace eblocks::codegen {
+
+std::vector<BlockId> levelOrder(const BitSet& partition,
+                                const std::vector<int>& levels) {
+  std::vector<BlockId> members;
+  partition.forEach(
+      [&](std::size_t b) { members.push_back(static_cast<BlockId>(b)); });
+  std::stable_sort(members.begin(), members.end(),
+                   [&](BlockId a, BlockId b) {
+                     return levels[a] != levels[b] ? levels[a] < levels[b]
+                                                   : a < b;
+                   });
+  return members;
+}
+
+}  // namespace eblocks::codegen

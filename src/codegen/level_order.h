@@ -1,0 +1,21 @@
+// Evaluation ordering of partition members (Section 3.3): syntax trees are
+// merged in non-decreasing level order so no block's tree is evaluated
+// before its producers' trees.
+#ifndef EBLOCKS_CODEGEN_LEVEL_ORDER_H_
+#define EBLOCKS_CODEGEN_LEVEL_ORDER_H_
+
+#include <vector>
+
+#include "core/bitset.h"
+#include "core/network.h"
+
+namespace eblocks::codegen {
+
+/// Members of `partition` sorted by (level asc, id asc).  `levels` is the
+/// full network level table (core/levels.h).
+std::vector<BlockId> levelOrder(const BitSet& partition,
+                                const std::vector<int>& levels);
+
+}  // namespace eblocks::codegen
+
+#endif  // EBLOCKS_CODEGEN_LEVEL_ORDER_H_

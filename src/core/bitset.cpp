@@ -1,0 +1,54 @@
+#include "core/bitset.h"
+
+#include <bit>
+
+namespace eblocks {
+
+std::size_t BitSet::count() const {
+  std::size_t n = 0;
+  for (std::uint64_t w : words_) n += static_cast<std::size_t>(std::popcount(w));
+  return n;
+}
+
+bool BitSet::any() const {
+  for (std::uint64_t w : words_)
+    if (w) return true;
+  return false;
+}
+
+void BitSet::clear() {
+  for (std::uint64_t& w : words_) w = 0;
+}
+
+BitSet& BitSet::operator|=(const BitSet& o) {
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= o.words_[i];
+  return *this;
+}
+
+BitSet& BitSet::operator&=(const BitSet& o) {
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= o.words_[i];
+  return *this;
+}
+
+BitSet& BitSet::andNot(const BitSet& o) {
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= ~o.words_[i];
+  return *this;
+}
+
+std::size_t BitSet::findFirst() const {
+  for (std::size_t w = 0; w < words_.size(); ++w)
+    if (words_[w]) {
+      return w * 64 +
+             static_cast<std::size_t>(std::countr_zero(words_[w]));
+    }
+  return nbits_;
+}
+
+std::vector<std::uint32_t> BitSet::toVector() const {
+  std::vector<std::uint32_t> out;
+  out.reserve(count());
+  forEach([&](std::size_t i) { out.push_back(static_cast<std::uint32_t>(i)); });
+  return out;
+}
+
+}  // namespace eblocks

@@ -1,0 +1,89 @@
+// Dynamic bitset used to represent subsets of blocks (candidate partitions,
+// visited sets, ...).  std::vector<bool> lacks word-level operations and
+// std::bitset is fixed-size; partition algorithms need fast whole-set
+// union/intersection/difference over networks with up to a few thousand
+// blocks, so we provide a small dedicated type.
+#ifndef EBLOCKS_CORE_BITSET_H_
+#define EBLOCKS_CORE_BITSET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace eblocks {
+
+/// A fixed-universe dynamic bitset.  The universe size is set at
+/// construction; all binary operations require equal universe sizes.
+class BitSet {
+ public:
+  BitSet() = default;
+
+  /// Creates an empty set over a universe of `nbits` elements.
+  explicit BitSet(std::size_t nbits)
+      : nbits_(nbits), words_((nbits + 63) / 64, 0) {}
+
+  /// Universe size (number of addressable bits).
+  std::size_t size() const { return nbits_; }
+
+  /// Adds element `i` to the set.
+  void set(std::size_t i) { words_[i >> 6] |= (std::uint64_t{1} << (i & 63)); }
+
+  /// Removes element `i` from the set.
+  void reset(std::size_t i) {
+    words_[i >> 6] &= ~(std::uint64_t{1} << (i & 63));
+  }
+
+  /// Returns true if element `i` is in the set.
+  bool test(std::size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1u;
+  }
+
+  /// Number of elements in the set.
+  std::size_t count() const;
+
+  /// True if the set is non-empty.
+  bool any() const;
+
+  /// True if the set is empty.
+  bool none() const { return !any(); }
+
+  /// Removes all elements.
+  void clear();
+
+  /// Set union / intersection / difference (in place).
+  BitSet& operator|=(const BitSet& o);
+  BitSet& operator&=(const BitSet& o);
+  /// Removes every element of `o` from this set (this \ o).
+  BitSet& andNot(const BitSet& o);
+
+  friend bool operator==(const BitSet& a, const BitSet& b) {
+    return a.nbits_ == b.nbits_ && a.words_ == b.words_;
+  }
+
+  /// Index of the lowest element, or `size()` if empty.
+  std::size_t findFirst() const;
+
+  /// Calls `f(i)` for every element `i` in ascending order.
+  template <typename F>
+  void forEach(F&& f) const {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      std::uint64_t bits = words_[w];
+      while (bits) {
+        const int b = __builtin_ctzll(bits);
+        f(w * 64 + static_cast<std::size_t>(b));
+        bits &= bits - 1;
+      }
+    }
+  }
+
+  /// The elements as an ascending vector (handy for tests and printing).
+  std::vector<std::uint32_t> toVector() const;
+
+ private:
+  std::size_t nbits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace eblocks
+
+#endif  // EBLOCKS_CORE_BITSET_H_

@@ -1,0 +1,40 @@
+#include "core/block.h"
+
+#include <utility>
+
+namespace eblocks {
+
+const char* toString(BlockClass c) {
+  switch (c) {
+    case BlockClass::kSensor: return "sensor";
+    case BlockClass::kOutput: return "output";
+    case BlockClass::kCompute: return "compute";
+    case BlockClass::kCommunication: return "communication";
+  }
+  return "?";
+}
+
+BlockType::BlockType(std::string name, BlockClass cls,
+                     std::vector<std::string> inputNames,
+                     std::vector<std::string> outputNames,
+                     std::string behaviorSource, bool sequential,
+                     bool programmable)
+    : name_(std::move(name)),
+      class_(cls),
+      inputs_(std::move(inputNames)),
+      outputs_(std::move(outputNames)),
+      behavior_(std::move(behaviorSource)),
+      sequential_(sequential),
+      programmable_(programmable) {
+  if (class_ == BlockClass::kSensor && !inputs_.empty())
+    throw std::invalid_argument("sensor block type cannot have inputs: " +
+                                name_);
+  if (class_ == BlockClass::kOutput && !outputs_.empty())
+    throw std::invalid_argument("output block type cannot have outputs: " +
+                                name_);
+  if (programmable_ && class_ != BlockClass::kCompute)
+    throw std::invalid_argument("programmable block must be a compute block: " +
+                                name_);
+}
+
+}  // namespace eblocks

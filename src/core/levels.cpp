@@ -1,0 +1,19 @@
+#include "core/levels.h"
+
+#include <algorithm>
+
+namespace eblocks {
+
+std::vector<int> computeLevels(const Network& net) {
+  std::vector<int> level(net.blockCount(), 0);
+  // Longest path from sensors, relaxed along a topological order.  The
+  // paper: "assigns levels by tracing the paths in the network, beginning
+  // with sensor blocks ... blocks visited multiple times retain the
+  // greatest level value".
+  for (BlockId u : net.topoOrder())
+    for (const Connection& c : net.outputsOf(u))
+      level[c.to.block] = std::max(level[c.to.block], level[u] + 1);
+  return level;
+}
+
+}  // namespace eblocks

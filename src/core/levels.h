@@ -1,0 +1,24 @@
+// Level assignment (Section 3.3 of the paper).
+//
+// Each block's level is the maximum distance between the block and any
+// sensor block, analogous to the primary-input-based level definition in
+// circuit partitioning.  Sensor blocks have level 0.  The code generator
+// orders merged syntax trees by non-decreasing level so that no block's
+// tree is evaluated before its producers'; the PareDown heuristic uses the
+// level as its final removal tiebreak.
+#ifndef EBLOCKS_CORE_LEVELS_H_
+#define EBLOCKS_CORE_LEVELS_H_
+
+#include <vector>
+
+#include "core/network.h"
+
+namespace eblocks {
+
+/// Levels for every block, indexed by BlockId.  Blocks unreachable from any
+/// sensor get level 0.  Throws CycleError on cyclic networks.
+std::vector<int> computeLevels(const Network& net);
+
+}  // namespace eblocks
+
+#endif  // EBLOCKS_CORE_LEVELS_H_

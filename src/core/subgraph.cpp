@@ -1,0 +1,98 @@
+#include "core/subgraph.h"
+
+#include <algorithm>
+#include <set>
+
+namespace eblocks {
+
+const char* toString(CountingMode m) {
+  switch (m) {
+    case CountingMode::kEdges: return "edges";
+    case CountingMode::kSignals: return "signals";
+  }
+  return "?";
+}
+
+IoCount countIo(const Network& net, const BitSet& members, CountingMode mode) {
+  IoCount io;
+  if (mode == CountingMode::kEdges) {
+    members.forEach([&](std::size_t bi) {
+      const BlockId b = static_cast<BlockId>(bi);
+      for (const Connection& c : net.inputsOf(b))
+        if (!members.test(c.from.block)) ++io.inputs;
+      for (const Connection& c : net.outputsOf(b))
+        if (!members.test(c.to.block)) ++io.outputs;
+    });
+    return io;
+  }
+  // kSignals: distinct external source endpoints feeding the partition, and
+  // distinct internal source endpoints feeding the outside.
+  std::set<Endpoint> inSrc, outSrc;
+  members.forEach([&](std::size_t bi) {
+    const BlockId b = static_cast<BlockId>(bi);
+    for (const Connection& c : net.inputsOf(b))
+      if (!members.test(c.from.block)) inSrc.insert(c.from);
+    for (const Connection& c : net.outputsOf(b))
+      if (!members.test(c.to.block)) outSrc.insert(c.from);
+  });
+  io.inputs = static_cast<int>(inSrc.size());
+  io.outputs = static_cast<int>(outSrc.size());
+  return io;
+}
+
+bool isBorderBlock(const Network& net, const BitSet& members, BlockId b) {
+  bool allOutputsOutside = true;
+  for (const Connection& c : net.outputsOf(b))
+    if (members.test(c.to.block)) {
+      allOutputsOutside = false;
+      break;
+    }
+  if (allOutputsOutside) return true;
+  for (const Connection& c : net.inputsOf(b))
+    if (members.test(c.from.block)) return false;
+  return true;  // every input connects outside
+}
+
+std::vector<BlockId> borderBlocks(const Network& net, const BitSet& members) {
+  std::vector<BlockId> out;
+  members.forEach([&](std::size_t bi) {
+    const BlockId b = static_cast<BlockId>(bi);
+    if (isBorderBlock(net, members, b)) out.push_back(b);
+  });
+  return out;
+}
+
+int removalRank(const Network& net, const BitSet& members, BlockId b) {
+  // Connections between b and the rest of the partition become part of the
+  // cut when b is removed (+1 each); connections between b and the outside
+  // leave the cut (-1 each).
+  int rank = 0;
+  for (const Connection& c : net.inputsOf(b))
+    rank += members.test(c.from.block) ? 1 : -1;
+  for (const Connection& c : net.outputsOf(b))
+    rank += members.test(c.to.block) ? 1 : -1;
+  return rank;
+}
+
+bool isConvex(const Network& net, const BitSet& members) {
+  // A subgraph S is convex iff no path leaves S and re-enters it.  Mark
+  // every block outside S that is reachable from S; if any such block feeds
+  // back into S, S is non-convex.  Single pass along a topological order.
+  const std::vector<BlockId> order = net.topoOrder();
+  std::vector<char> tainted(net.blockCount(), 0);  // outside, downstream of S
+  for (BlockId u : order) {
+    const bool inside = members.test(u);
+    if (!inside && !tainted[u]) continue;
+    for (const Connection& c : net.outputsOf(u)) {
+      const BlockId v = c.to.block;
+      if (members.test(v)) {
+        if (!inside) return false;  // tainted outside block re-enters S
+      } else {
+        tainted[v] = 1;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace eblocks

@@ -1,0 +1,59 @@
+// Candidate-partition analysis: I/O counting, border blocks, removal rank,
+// convexity.  These are the structural primitives shared by all three
+// partitioning algorithms (Section 4 of the paper).
+#ifndef EBLOCKS_CORE_SUBGRAPH_H_
+#define EBLOCKS_CORE_SUBGRAPH_H_
+
+#include <vector>
+
+#include "core/bitset.h"
+#include "core/network.h"
+
+namespace eblocks {
+
+/// How partition I/O usage is counted against the programmable block's
+/// port budget.
+enum class CountingMode {
+  /// Each connection crossing the partition boundary occupies one port
+  /// (eBlocks wires are point-to-point).  This is the mode that reproduces
+  /// the paper's Figure-5 walkthrough exactly, and the default.
+  kEdges,
+  /// Distinct signals: external fanout of one internal signal shares one
+  /// output port, and one external signal consumed by several members
+  /// shares one input port.
+  kSignals,
+};
+
+const char* toString(CountingMode m);
+
+/// Port usage of a candidate partition.
+struct IoCount {
+  int inputs = 0;
+  int outputs = 0;
+};
+
+/// Counts the inputs/outputs the subgraph `members` would occupy on a
+/// programmable block, under the given counting mode.
+IoCount countIo(const Network& net, const BitSet& members, CountingMode mode);
+
+/// A border block has *every* output or *every* input connected to blocks
+/// outside the candidate partition (Section 4.2).  Blocks with no
+/// connections at all count as border (vacuous truth).
+bool isBorderBlock(const Network& net, const BitSet& members, BlockId b);
+
+/// All border blocks of the candidate partition, ascending by id.
+std::vector<BlockId> borderBlocks(const Network& net, const BitSet& members);
+
+/// The paper's removal rank: the net increase or decrease in the combined
+/// indegree and outdegree (connection counts) of the candidate partition if
+/// `b` were removed.  Negative ranks shrink the partition's cut.
+int removalRank(const Network& net, const BitSet& members, BlockId b);
+
+/// True if every path between two members stays inside the subgraph.
+/// Convex subgraphs can be replaced by a single block without creating a
+/// combinational dependency through the outside.
+bool isConvex(const Network& net, const BitSet& members);
+
+}  // namespace eblocks
+
+#endif  // EBLOCKS_CORE_SUBGRAPH_H_

@@ -1,0 +1,22 @@
+// Graphviz DOT export, with optional partition highlighting -- handy for
+// visually debugging partitioner decisions (mirrors Figure 5's shading).
+#ifndef EBLOCKS_IO_DOT_H_
+#define EBLOCKS_IO_DOT_H_
+
+#include <string>
+#include <vector>
+
+#include "core/bitset.h"
+#include "core/network.h"
+
+namespace eblocks::io {
+
+/// Renders the network as DOT.  Sensors are houses, outputs are inverted
+/// houses, compute blocks are boxes (programmable: double border).  When
+/// `partitions` is non-empty each partition becomes a colored cluster.
+std::string toDot(const Network& net,
+                  const std::vector<BitSet>& partitions = {});
+
+}  // namespace eblocks::io
+
+#endif  // EBLOCKS_IO_DOT_H_

@@ -1,0 +1,117 @@
+#include "io/netlist.h"
+
+#include <sstream>
+
+#include "blocks/catalog.h"
+
+namespace eblocks::io {
+
+std::string writeNetlist(const Network& net) {
+  std::ostringstream out;
+  out << "network " << net.name() << "\n";
+  for (BlockId b = 0; b < net.blockCount(); ++b) {
+    const Block& blk = net.block(b);
+    if (blk.type->programmable() && !blk.type->behaviorSource().empty())
+      throw NetlistError(
+          "writeNetlist: synthesized programmable block '" + blk.name +
+          "' embeds a generated behavior and cannot be serialized");
+    out << "block " << blk.name << " " << blk.type->name() << "\n";
+  }
+  for (const Connection& c : net.connections())
+    out << "connect " << net.block(c.from.block).name << "." << c.from.port
+        << " " << net.block(c.to.block).name << "." << c.to.port << "\n";
+  return out.str();
+}
+
+namespace {
+
+struct EndpointRef {
+  std::string block;
+  int port = 0;
+};
+
+EndpointRef parseEndpoint(const std::string& token, int line) {
+  const std::size_t dot = token.rfind('.');
+  if (dot == std::string::npos || dot + 1 >= token.size())
+    throw NetlistError("netlist line " + std::to_string(line) +
+                       ": expected <block>.<port>, got '" + token + "'");
+  EndpointRef r;
+  r.block = token.substr(0, dot);
+  try {
+    r.port = std::stoi(token.substr(dot + 1));
+  } catch (const std::exception&) {
+    throw NetlistError("netlist line " + std::to_string(line) +
+                       ": bad port number in '" + token + "'");
+  }
+  return r;
+}
+
+}  // namespace
+
+Network readNetlist(const std::string& text) {
+  std::istringstream in(text);
+  std::string lineText;
+  int lineNo = 0;
+  Network net;
+  bool named = false;
+  while (std::getline(in, lineText)) {
+    ++lineNo;
+    const std::size_t hash = lineText.find('#');
+    if (hash != std::string::npos) lineText.erase(hash);
+    std::istringstream line(lineText);
+    std::string keyword;
+    if (!(line >> keyword)) continue;  // blank line
+    if (keyword == "network") {
+      std::string name;
+      std::getline(line, name);
+      const std::size_t start = name.find_first_not_of(" \t");
+      if (start == std::string::npos)
+        throw NetlistError("netlist line " + std::to_string(lineNo) +
+                           ": network needs a name");
+      name.erase(0, start);
+      const std::size_t end = name.find_last_not_of(" \t\r");
+      name.erase(end + 1);
+      Network renamed(name);
+      if (named || net.blockCount() > 0)
+        throw NetlistError("netlist line " + std::to_string(lineNo) +
+                           ": 'network' must appear once, first");
+      net = std::move(renamed);
+      named = true;
+    } else if (keyword == "block") {
+      std::string instance, type;
+      if (!(line >> instance >> type))
+        throw NetlistError("netlist line " + std::to_string(lineNo) +
+                           ": expected 'block <instance> <type>'");
+      try {
+        net.addBlock(instance, blocks::defaultCatalog().get(type));
+      } catch (const std::exception& e) {
+        throw NetlistError("netlist line " + std::to_string(lineNo) + ": " +
+                           e.what());
+      }
+    } else if (keyword == "connect") {
+      std::string a, b;
+      if (!(line >> a >> b))
+        throw NetlistError("netlist line " + std::to_string(lineNo) +
+                           ": expected 'connect <src>.<port> <dst>.<port>'");
+      const EndpointRef src = parseEndpoint(a, lineNo);
+      const EndpointRef dst = parseEndpoint(b, lineNo);
+      const auto srcId = net.findBlock(src.block);
+      const auto dstId = net.findBlock(dst.block);
+      if (!srcId || !dstId)
+        throw NetlistError("netlist line " + std::to_string(lineNo) +
+                           ": unknown block in connection");
+      try {
+        net.connect(*srcId, src.port, *dstId, dst.port);
+      } catch (const std::exception& e) {
+        throw NetlistError("netlist line " + std::to_string(lineNo) + ": " +
+                           e.what());
+      }
+    } else {
+      throw NetlistError("netlist line " + std::to_string(lineNo) +
+                         ": unknown keyword '" + keyword + "'");
+    }
+  }
+  return net;
+}
+
+}  // namespace eblocks::io

@@ -1,0 +1,37 @@
+// Textual netlist format: save/load networks built from catalog types.
+//
+// Format (line oriented; '#' comments):
+//   network <name with spaces allowed>
+//   block <instance> <type>
+//   connect <src-instance>.<out-port> <dst-instance>.<in-port>
+//
+// Types are resolved against the catalog (including parameterized families
+// like delay_5 or prog_2x2).  Synthesized programmable blocks embed their
+// behavior and therefore cannot round-trip through this format; writeNetlist
+// rejects them.
+#ifndef EBLOCKS_IO_NETLIST_H_
+#define EBLOCKS_IO_NETLIST_H_
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "core/network.h"
+
+namespace eblocks::io {
+
+class NetlistError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Serializes `net` to the netlist format.
+std::string writeNetlist(const Network& net);
+
+/// Parses a netlist.  Throws NetlistError with a line number on malformed
+/// input or unknown block types.
+Network readNetlist(const std::string& text);
+
+}  // namespace eblocks::io
+
+#endif  // EBLOCKS_IO_NETLIST_H_

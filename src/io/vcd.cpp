@@ -1,0 +1,59 @@
+#include "io/vcd.h"
+
+#include <map>
+#include <sstream>
+
+namespace eblocks::io {
+
+namespace {
+
+/// Short printable VCD identifier for the k-th signal.
+std::string vcdId(std::size_t k) {
+  std::string id;
+  do {
+    id += static_cast<char>('!' + k % 94);
+    k /= 94;
+  } while (k > 0);
+  return id;
+}
+
+}  // namespace
+
+std::string toVcd(const sim::Simulator& simulator) {
+  const Network& net = simulator.network();
+  std::ostringstream out;
+  out << "$comment eblocks-synth simulation trace $end\n";
+  out << "$timescale 1 us $end\n";
+  out << "$scope module " << (net.name().empty() ? "design" : net.name())
+      << " $end\n";
+  std::map<BlockId, std::string> idOf;
+  for (BlockId b = 0; b < net.blockCount(); ++b)
+    if (net.isOutput(b)) {
+      idOf[b] = vcdId(idOf.size());
+      std::string safe = net.block(b).name;
+      for (char& c : safe)
+        if (c == ' ') c = '_';
+      out << "$var wire 1 " << idOf[b] << " " << safe << " $end\n";
+    }
+  out << "$upscope $end\n$enddefinitions $end\n";
+  out << "$dumpvars\n";
+  // Initial values: outputs start at 0; the trace then carries changes.
+  for (const auto& [block, id] : idOf) out << "0" << id << "\n";
+  out << "$end\n";
+  std::uint64_t lastTime = 0;
+  bool timeOpen = false;
+  for (const sim::TraceEntry& e : simulator.trace()) {
+    const auto it = idOf.find(e.block);
+    if (it == idOf.end()) continue;
+    if (!timeOpen || e.time != lastTime) {
+      out << "#" << e.time << "\n";
+      lastTime = e.time;
+      timeOpen = true;
+    }
+    out << (e.value ? "1" : "0") << it->second << "\n";
+  }
+  out << "#" << (simulator.now() + 1) << "\n";
+  return out.str();
+}
+
+}  // namespace eblocks::io

@@ -1,0 +1,20 @@
+// VCD (Value Change Dump) export of simulation traces, so output-block
+// activity can be inspected in any waveform viewer (GTKWave etc.).
+#ifndef EBLOCKS_IO_VCD_H_
+#define EBLOCKS_IO_VCD_H_
+
+#include <string>
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace eblocks::io {
+
+/// Renders the display-change trace of `simulator`'s run so far as a VCD
+/// document.  One wire per output block; initial values are dumped at
+/// time 0, then one change record per trace entry.
+std::string toVcd(const sim::Simulator& simulator);
+
+}  // namespace eblocks::io
+
+#endif  // EBLOCKS_IO_VCD_H_

@@ -1,0 +1,80 @@
+// Physical deployment topologies -- the substrate for the paper's second
+// future-work item (Section 6): "extend our methods to map to an existing
+// underlying network of sensor nodes".
+//
+// A topology is the already-installed hardware: physical nodes (wall boxes
+// with a programmable block of some port size, or fixed sensor/output
+// devices) and the point-to-point cables between them.  Synthesis output
+// must then be *placed*: every logical block onto a distinct physical
+// node, every logical connection onto an existing cable.
+#ifndef EBLOCKS_MAPPING_TOPOLOGY_H_
+#define EBLOCKS_MAPPING_TOPOLOGY_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace eblocks::mapping {
+
+using PhysId = std::uint32_t;
+inline constexpr PhysId kNoPhys = 0xffffffffu;
+
+/// A physical installation point.
+struct PhysicalNode {
+  std::string name;
+  int inputs = 2;   ///< input connectors available
+  int outputs = 2;  ///< output connectors available
+};
+
+/// A directed point-to-point cable; carries one signal.
+struct PhysicalLink {
+  PhysId from = kNoPhys;
+  PhysId to = kNoPhys;
+  friend auto operator<=>(const PhysicalLink&, const PhysicalLink&) = default;
+};
+
+class Topology {
+ public:
+  explicit Topology(std::string name = "site") : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  PhysId addNode(std::string nodeName, int inputs, int outputs);
+  /// Adds a one-way cable.  Duplicates are allowed (parallel cables).
+  void addLink(PhysId from, PhysId to);
+  /// Adds cables both ways (a pulled cable can be used in either
+  /// direction, but each direction is a separate conductor pair here).
+  void addDuplexLink(PhysId a, PhysId b);
+
+  std::size_t nodeCount() const { return nodes_.size(); }
+  const PhysicalNode& node(PhysId id) const { return nodes_.at(id); }
+  const std::vector<PhysicalLink>& links() const { return links_; }
+  std::optional<PhysId> findNode(const std::string& nodeName) const;
+
+  /// Indices into links() of the cables leaving / arriving at a node.
+  const std::vector<std::size_t>& linksFrom(PhysId id) const {
+    return outLinks_.at(id);
+  }
+  const std::vector<std::size_t>& linksInto(PhysId id) const {
+    return inLinks_.at(id);
+  }
+
+  // --- convenience builders ------------------------------------------------
+  /// n nodes in a line with duplex cables between neighbors.
+  static Topology line(int n, int inputs = 2, int outputs = 2);
+  /// n nodes in a ring with duplex cables between neighbors.
+  static Topology ring(int n, int inputs = 2, int outputs = 2);
+  /// rows x cols grid with duplex cables between 4-neighbors.
+  static Topology grid(int rows, int cols, int inputs = 2, int outputs = 2);
+
+ private:
+  std::string name_;
+  std::vector<PhysicalNode> nodes_;
+  std::vector<PhysicalLink> links_;
+  std::vector<std::vector<std::size_t>> outLinks_, inLinks_;
+};
+
+}  // namespace eblocks::mapping
+
+#endif  // EBLOCKS_MAPPING_TOPOLOGY_H_

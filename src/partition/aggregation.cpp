@@ -1,0 +1,74 @@
+#include "partition/aggregation.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "partition/validity.h"
+
+namespace eblocks::partition {
+
+PartitionRun aggregation(const PartitionProblem& problem) {
+  const auto start = std::chrono::steady_clock::now();
+  const Network& net = problem.network();
+  const ProgBlockSpec& spec = problem.spec();
+
+  PartitionRun run;
+  run.algorithm = "aggregation";
+
+  // Seeds in (level, id) order: nodes fed by primary inputs come first.
+  std::vector<BlockId> seeds = problem.innerBlocks();
+  std::sort(seeds.begin(), seeds.end(), [&](BlockId a, BlockId b) {
+    const int la = problem.levels()[a], lb = problem.levels()[b];
+    return la != lb ? la < lb : a < b;
+  });
+
+  BitSet unassigned = problem.innerSet();
+  for (BlockId seed : seeds) {
+    if (!unassigned.test(seed)) continue;
+    BitSet cluster = net.emptySet();
+    cluster.set(seed);
+    if (!fitsProgrammable(net, cluster, spec)) {
+      // Even alone the seed exceeds the port budget; leave it uncovered.
+      unassigned.reset(seed);
+      continue;
+    }
+    // Greedy growth: keep trying unassigned neighbors (fanin/fanout of the
+    // cluster) until none can join without breaking the port budget or
+    // convexity.
+    bool grew = true;
+    while (grew) {
+      ++run.explored;
+      grew = false;
+      std::vector<BlockId> candidates;
+      cluster.forEach([&](std::size_t m) {
+        const BlockId mb = static_cast<BlockId>(m);
+        for (const Connection& c : net.inputsOf(mb))
+          if (unassigned.test(c.from.block) && !cluster.test(c.from.block))
+            candidates.push_back(c.from.block);
+        for (const Connection& c : net.outputsOf(mb))
+          if (unassigned.test(c.to.block) && !cluster.test(c.to.block))
+            candidates.push_back(c.to.block);
+      });
+      std::sort(candidates.begin(), candidates.end());
+      candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                       candidates.end());
+      for (BlockId cand : candidates) {
+        cluster.set(cand);
+        if (fitsProgrammable(net, cluster, spec)) {
+          grew = true;
+          break;  // accept the first neighbor that fits (no look-ahead)
+        }
+        cluster.reset(cand);
+      }
+    }
+    if (cluster.count() >= 2) run.result.partitions.push_back(cluster);
+    unassigned.andNot(cluster);
+  }
+
+  run.seconds = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+  return run;
+}
+
+}  // namespace eblocks::partition

@@ -1,0 +1,23 @@
+// The aggregation heuristic (Section 4.2, first paragraph).
+//
+// The paper's first attempt before PareDown: starting from the inner nodes
+// connected to primary inputs, greedily grow clusters one neighbor at a
+// time as long as the cluster still fits a programmable block.  It is fast
+// but has no look-ahead, so it cannot exploit convergence (re-absorbing a
+// signal's consumers to cancel outputs) and often yields non-optimal
+// results -- which is exactly the behavior our ablation bench demonstrates.
+#ifndef EBLOCKS_PARTITION_AGGREGATION_H_
+#define EBLOCKS_PARTITION_AGGREGATION_H_
+
+#include "partition/problem.h"
+#include "partition/result.h"
+
+namespace eblocks::partition {
+
+/// Runs the aggregation heuristic.  Deterministic: seeds are taken in
+/// (level, id) order; growth candidates likewise.
+PartitionRun aggregation(const PartitionProblem& problem);
+
+}  // namespace eblocks::partition
+
+#endif  // EBLOCKS_PARTITION_AGGREGATION_H_

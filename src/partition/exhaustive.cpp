@@ -1,0 +1,220 @@
+#include "partition/exhaustive.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "partition/validity.h"
+
+namespace eblocks::partition {
+
+namespace {
+
+class Search {
+ public:
+  Search(const PartitionProblem& problem, const ExhaustiveOptions& options)
+      : problem_(problem),
+        options_(options),
+        net_(problem.network()),
+        edgesMode_(problem.spec().mode == CountingMode::kEdges),
+        inner_(problem.innerBlocks()),
+        deadline_(options.timeLimitSeconds > 0
+                      ? std::chrono::steady_clock::now() +
+                            std::chrono::duration_cast<
+                                std::chrono::steady_clock::duration>(
+                                std::chrono::duration<double>(
+                                    options.timeLimitSeconds))
+                      : std::chrono::steady_clock::time_point::max()) {
+    // Pre-compute each block's irreducible I/O: connections to non-inner
+    // neighbors can never be internalized by growing the bin.
+    fixedIn_.resize(net_.blockCount(), 0);
+    fixedOut_.resize(net_.blockCount(), 0);
+    for (BlockId b : inner_) {
+      for (const Connection& c : net_.inputsOf(b))
+        if (!net_.isInner(c.from.block)) ++fixedIn_[b];
+      for (const Connection& c : net_.outputsOf(b))
+        if (!net_.isInner(c.to.block)) ++fixedOut_[b];
+    }
+  }
+
+  PartitionRun run() {
+    PartitionRun out;
+    out.algorithm = "exhaustive";
+    const auto start = std::chrono::steady_clock::now();
+
+    bestCost_ = static_cast<int>(inner_.size()) + 1;  // worse than "no-op"
+    best_.partitions.clear();
+    if (options_.seed) {
+      const int seedCost =
+          options_.seed->totalAfter(static_cast<int>(inner_.size()));
+      // Trust but verify: only use a seed that is actually feasible.
+      bool feasible = true;
+      for (const BitSet& p : options_.seed->partitions)
+        if (!isValidPartition(problem_, p, options_.requireConvex))
+          feasible = false;
+      if (feasible && seedCost <= bestCost_) {
+        bestCost_ = seedCost;
+        best_ = *options_.seed;
+      }
+    }
+    // "No partitions" is always feasible with cost n.
+    if (static_cast<int>(inner_.size()) < bestCost_) {
+      bestCost_ = static_cast<int>(inner_.size());
+      best_.partitions.clear();
+    }
+
+    bins_.clear();
+    // Reserve so recursive push_back never reallocates (dfs holds indices
+    // across recursion).
+    bins_.reserve(inner_.size() + 1);
+    dfs(0, /*uncovered=*/0);
+
+    out.result = best_;
+    out.explored = explored_;
+    out.timedOut = timedOut_;
+    out.optimal = !timedOut_;
+    out.seconds = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+    return out;
+  }
+
+ private:
+  struct Bin {
+    BitSet members;
+    int count = 0;
+    int fixedIn = 0;   // irreducible inputs (edges from non-inner blocks)
+    int fixedOut = 0;  // irreducible outputs (edges to non-inner blocks)
+  };
+
+  bool timeExpired() {
+    if (timedOut_) return true;
+    if ((explored_ & 0xfff) == 0 &&
+        std::chrono::steady_clock::now() > deadline_)
+      timedOut_ = true;
+    return timedOut_;
+  }
+
+  void dfs(std::size_t idx, int uncovered) {
+    ++explored_;
+    if (timeExpired()) return;
+    // Lower bound on the final cost: every open bin stays a bin, every
+    // uncovered block stays uncovered.
+    const int costSoFar = static_cast<int>(bins_.size()) + uncovered;
+    if (costSoFar >= bestCost_) return;
+    if (idx == inner_.size()) {
+      finishAssignment(uncovered);
+      return;
+    }
+    const BlockId b = inner_[idx];
+    // Choice 1: join an existing bin.  Indexed access: the recursion below
+    // appends to bins_, so references across the call would dangle if the
+    // vector ever reallocated.
+    const std::size_t openBins = bins_.size();
+    for (std::size_t j = 0; j < openBins; ++j) {
+      if (edgesMode_ &&
+          (bins_[j].fixedIn + fixedIn_[b] > problem_.spec().inputs ||
+           bins_[j].fixedOut + fixedOut_[b] > problem_.spec().outputs))
+        continue;  // irreducible I/O already over budget
+      bins_[j].members.set(b);
+      bins_[j].count++;
+      bins_[j].fixedIn += fixedIn_[b];
+      bins_[j].fixedOut += fixedOut_[b];
+      dfs(idx + 1, uncovered);
+      bins_[j].fixedOut -= fixedOut_[b];
+      bins_[j].fixedIn -= fixedIn_[b];
+      bins_[j].count--;
+      bins_[j].members.reset(b);
+    }
+    // Choice 2: open a new bin (all empty bins are interchangeable, so a
+    // single branch suffices -- the paper's symmetry pruning).
+    {
+      Bin bin;
+      bin.members = net_.emptySet();
+      bin.members.set(b);
+      bin.count = 1;
+      bin.fixedIn = fixedIn_[b];
+      bin.fixedOut = fixedOut_[b];
+      if (!(edgesMode_ && (bin.fixedIn > problem_.spec().inputs ||
+                           bin.fixedOut > problem_.spec().outputs))) {
+        bins_.push_back(std::move(bin));
+        dfs(idx + 1, uncovered);
+        bins_.pop_back();
+      }
+    }
+    // Choice 3: leave uncovered.
+    dfs(idx + 1, uncovered + 1);
+  }
+
+  void finishAssignment(int uncovered) {
+    const int cost = static_cast<int>(bins_.size()) + uncovered;
+    if (cost >= bestCost_) return;
+    for (const Bin& bin : bins_) {
+      if (bin.count < 2) return;  // single-node partitions are invalid
+      if (!fitsProgrammable(net_, bin.members, problem_.spec())) return;
+      if (options_.requireConvex && !isConvex(net_, bin.members)) return;
+    }
+    if (options_.requireAcyclicQuotient && !quotientAcyclic()) return;
+    // Tie handling: strictly better cost only, so the first optimal found
+    // in DFS order is kept (deterministic).
+    bestCost_ = cost;
+    best_.partitions.clear();
+    for (const Bin& bin : bins_) best_.partitions.push_back(bin.members);
+  }
+
+  /// Checks that contracting every bin leaves the block graph acyclic.
+  bool quotientAcyclic() const {
+    // Map each block to its group: bins get ids [n, n+k), others self.
+    const std::size_t n = net_.blockCount();
+    std::vector<std::uint32_t> group(n);
+    for (std::size_t i = 0; i < n; ++i)
+      group[i] = static_cast<std::uint32_t>(i);
+    for (std::size_t k = 0; k < bins_.size(); ++k)
+      bins_[k].members.forEach([&](std::size_t b) {
+        group[b] = static_cast<std::uint32_t>(n + k);
+      });
+    const std::size_t total = n + bins_.size();
+    std::vector<std::vector<std::uint32_t>> adj(total);
+    std::vector<int> indeg(total, 0);
+    for (const Connection& c : net_.connections()) {
+      const std::uint32_t u = group[c.from.block], v = group[c.to.block];
+      if (u == v) continue;
+      adj[u].push_back(v);
+      ++indeg[v];
+    }
+    std::vector<std::uint32_t> stack;
+    for (std::size_t v = 0; v < total; ++v)
+      if (indeg[v] == 0) stack.push_back(static_cast<std::uint32_t>(v));
+    std::size_t seen = 0;
+    while (!stack.empty()) {
+      const std::uint32_t u = stack.back();
+      stack.pop_back();
+      ++seen;
+      for (std::uint32_t v : adj[u])
+        if (--indeg[v] == 0) stack.push_back(v);
+    }
+    return seen == total;
+  }
+
+  const PartitionProblem& problem_;
+  ExhaustiveOptions options_;
+  const Network& net_;
+  bool edgesMode_ = false;
+  const std::vector<BlockId>& inner_;
+  std::vector<int> fixedIn_, fixedOut_;
+  std::vector<Bin> bins_;
+  Partitioning best_;
+  int bestCost_ = 0;
+  std::uint64_t explored_ = 0;
+  bool timedOut_ = false;
+  std::chrono::steady_clock::time_point deadline_;
+};
+
+}  // namespace
+
+PartitionRun exhaustiveSearch(const PartitionProblem& problem,
+                              const ExhaustiveOptions& options) {
+  Search search(problem, options);
+  return search.run();
+}
+
+}  // namespace eblocks::partition

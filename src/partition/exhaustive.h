@@ -1,0 +1,51 @@
+// Exhaustive search over block-to-programmable-block assignments
+// (Section 4.1).
+//
+// The search space is every combination of the n inner blocks into up to n
+// programmable blocks, where a combination need not use every block.  As
+// in the paper we prune symmetric branches: all empty programmable blocks
+// are indistinguishable, so opening "a new bin" is a single choice.  We
+// additionally apply two sound prunings that do not affect optimality:
+//   - cost bound: open bins + uncovered blocks already meets/exceeds the
+//     best known cost;
+//   - irreducible I/O: connections between a bin and non-inner blocks
+//     (sensors, outputs, communication blocks) can never be internalized
+//     by adding more members, so a bin whose non-inner I/O alone exceeds
+//     the port budget is dead (edge-counting mode only).
+// An optional initial solution (e.g. PareDown's) seeds the bound.
+#ifndef EBLOCKS_PARTITION_EXHAUSTIVE_H_
+#define EBLOCKS_PARTITION_EXHAUSTIVE_H_
+
+#include <optional>
+
+#include "partition/problem.h"
+#include "partition/result.h"
+
+namespace eblocks::partition {
+
+struct ExhaustiveOptions {
+  /// Wall-clock budget; exceeded -> run.timedOut = true and the best
+  /// solution found so far is returned.  <= 0 disables the limit.
+  double timeLimitSeconds = 0.0;
+  /// Require every partition to be convex (the classical DAG-covering
+  /// constraint).  Off by default: the packet protocol keeps non-convex
+  /// replacements behaviorally equivalent (see validity.h), and PareDown
+  /// itself can produce non-convex partitions in later rounds.
+  bool requireConvex = false;
+  /// Additionally require the replaced network to stay acyclic at the
+  /// block level.  The packet protocol tolerates benign block-level
+  /// cycles, so this defaults off; see the ablation bench.
+  bool requireAcyclicQuotient = false;
+  /// Seed the branch-and-bound with a known solution (commonly PareDown's).
+  /// Purely an accelerator: never changes the optimum found.
+  std::optional<Partitioning> seed;
+};
+
+/// Runs the exhaustive search.  `run.optimal` is true iff the search
+/// completed within the time limit.
+PartitionRun exhaustiveSearch(const PartitionProblem& problem,
+                              const ExhaustiveOptions& options = {});
+
+}  // namespace eblocks::partition
+
+#endif  // EBLOCKS_PARTITION_EXHAUSTIVE_H_

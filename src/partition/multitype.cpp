@@ -1,0 +1,303 @@
+#include "partition/multitype.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+
+#include "core/levels.h"
+
+namespace eblocks::partition {
+
+namespace {
+
+constexpr double kCostSlack = 1e-9;
+
+/// Shared removal choice (same tiebreaks as classic PareDown).
+BlockId chooseRemoval(const Network& net, const std::vector<int>& levels,
+                      const std::vector<BlockId>& border,
+                      const std::vector<int>& ranks) {
+  BlockId best = border.front();
+  int bestRank = ranks.front();
+  for (std::size_t i = 1; i < border.size(); ++i) {
+    const BlockId b = border[i];
+    const int r = ranks[i];
+    if (r != bestRank) {
+      if (r < bestRank) { best = b; bestRank = r; }
+      continue;
+    }
+    if (net.indegree(b) != net.indegree(best)) {
+      if (net.indegree(b) > net.indegree(best)) best = b;
+      continue;
+    }
+    if (net.outdegree(b) != net.outdegree(best)) {
+      if (net.outdegree(b) > net.outdegree(best)) best = b;
+      continue;
+    }
+    if (levels[b] > levels[best]) best = b;
+  }
+  return best;
+}
+
+}  // namespace
+
+ProgCostModel ProgCostModel::paperDefault() {
+  ProgCostModel m;
+  m.preDefinedBlockCost = 1.0;
+  m.options.push_back(ProgBlockOption{"prog_2x2", 2, 2, 1.5});
+  return m;
+}
+
+int TypedPartitioning::coveredBlocks() const {
+  int covered = 0;
+  for (const BitSet& p : partitions) covered += static_cast<int>(p.count());
+  return covered;
+}
+
+double TypedPartitioning::totalCost(int originalInnerCount,
+                                    const ProgCostModel& model) const {
+  double cost = model.preDefinedBlockCost *
+                (originalInnerCount - coveredBlocks());
+  for (int idx : optionIndex)
+    cost += model.options.at(static_cast<std::size_t>(idx)).cost;
+  return cost;
+}
+
+std::optional<int> cheapestFittingOption(const Network& net,
+                                         const BitSet& members,
+                                         const ProgCostModel& model) {
+  const IoCount io = countIo(net, members, model.mode);
+  std::optional<int> best;
+  for (std::size_t i = 0; i < model.options.size(); ++i) {
+    const ProgBlockOption& o = model.options[i];
+    if (io.inputs > o.inputs || io.outputs > o.outputs) continue;
+    if (!best ||
+        o.cost < model.options[static_cast<std::size_t>(*best)].cost)
+      best = static_cast<int>(i);
+  }
+  return best;
+}
+
+TypedPartitionRun multiTypePareDown(const Network& net,
+                                    const ProgCostModel& model) {
+  const auto start = std::chrono::steady_clock::now();
+  TypedPartitionRun run;
+  run.algorithm = "multitype-paredown";
+  const std::vector<int> levels = computeLevels(net);
+
+  BitSet blocks = net.innerSet();
+  while (blocks.any()) {
+    BitSet candidate = blocks;
+    bool accepted = false;
+    BlockId lastRemoved = kNoBlock;
+    while (candidate.any()) {
+      ++run.explored;
+      const auto option = cheapestFittingOption(net, candidate, model);
+      if (option) {
+        const double replaceCost =
+            model.options[static_cast<std::size_t>(*option)].cost;
+        const double keepCost =
+            model.preDefinedBlockCost * static_cast<double>(candidate.count());
+        if (replaceCost + kCostSlack < keepCost) {
+          run.result.partitions.push_back(candidate);
+          run.result.optionIndex.push_back(*option);
+        }
+        // Not beneficial (e.g. a lone block): retire the candidate either
+        // way; paring further can only shrink the benefit.
+        blocks.andNot(candidate);
+        accepted = true;
+        break;
+      }
+      const std::vector<BlockId> border = borderBlocks(net, candidate);
+      if (border.empty()) {  // pathological; retire candidate
+        blocks.andNot(candidate);
+        accepted = true;
+        break;
+      }
+      std::vector<int> ranks;
+      ranks.reserve(border.size());
+      for (BlockId b : border)
+        ranks.push_back(removalRank(net, candidate, b));
+      lastRemoved = chooseRemoval(net, levels, border, ranks);
+      candidate.reset(lastRemoved);
+    }
+    if (!accepted && candidate.none()) blocks.reset(lastRemoved);
+  }
+
+  run.seconds = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+  return run;
+}
+
+namespace {
+
+class MultiSearch {
+ public:
+  MultiSearch(const Network& net, const ProgCostModel& model,
+              const MultiTypeExhaustiveOptions& options)
+      : net_(net),
+        model_(model),
+        options_(options),
+        inner_(net.innerBlocks()),
+        deadline_(options.timeLimitSeconds > 0
+                      ? std::chrono::steady_clock::now() +
+                            std::chrono::duration_cast<
+                                std::chrono::steady_clock::duration>(
+                                std::chrono::duration<double>(
+                                    options.timeLimitSeconds))
+                      : std::chrono::steady_clock::time_point::max()) {
+    minOptionCost_ = std::numeric_limits<double>::infinity();
+    for (const ProgBlockOption& o : model.options)
+      minOptionCost_ = std::min(minOptionCost_, o.cost);
+    if (model.options.empty()) minOptionCost_ = 0;
+  }
+
+  TypedPartitionRun run() {
+    TypedPartitionRun out;
+    out.algorithm = "multitype-exhaustive";
+    const auto start = std::chrono::steady_clock::now();
+
+    const int n = static_cast<int>(inner_.size());
+    bestCost_ = model_.preDefinedBlockCost * n;  // "replace nothing"
+    best_ = TypedPartitioning{};
+    if (options_.seed &&
+        verifyTypedPartitioning(net_, model_, *options_.seed).empty()) {
+      const double c = options_.seed->totalCost(n, model_);
+      if (c < bestCost_) {
+        bestCost_ = c;
+        best_ = *options_.seed;
+      }
+    }
+    bins_.clear();
+    bins_.reserve(inner_.size() + 1);
+    dfs(0, 0);
+
+    out.result = best_;
+    out.explored = explored_;
+    out.timedOut = timedOut_;
+    out.optimal = !timedOut_;
+    out.seconds = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+    return out;
+  }
+
+ private:
+  bool timeExpired() {
+    if (timedOut_) return true;
+    if ((explored_ & 0xfff) == 0 &&
+        std::chrono::steady_clock::now() > deadline_)
+      timedOut_ = true;
+    return timedOut_;
+  }
+
+  void dfs(std::size_t idx, int uncovered) {
+    ++explored_;
+    if (timeExpired()) return;
+    const double lowerBound =
+        static_cast<double>(bins_.size()) * minOptionCost_ +
+        model_.preDefinedBlockCost * uncovered;
+    if (lowerBound + kCostSlack >= bestCost_) return;
+    if (idx == inner_.size()) {
+      finish(uncovered);
+      return;
+    }
+    const BlockId b = inner_[idx];
+    const std::size_t openBins = bins_.size();
+    for (std::size_t j = 0; j < openBins; ++j) {
+      bins_[j].set(b);
+      dfs(idx + 1, uncovered);
+      bins_[j].reset(b);
+    }
+    {
+      BitSet bin = net_.emptySet();
+      bin.set(b);
+      bins_.push_back(std::move(bin));
+      dfs(idx + 1, uncovered);
+      bins_.pop_back();
+    }
+    dfs(idx + 1, uncovered + 1);
+  }
+
+  void finish(int uncovered) {
+    double cost = model_.preDefinedBlockCost * uncovered;
+    std::vector<int> chosen;
+    chosen.reserve(bins_.size());
+    for (const BitSet& bin : bins_) {
+      const auto option = cheapestFittingOption(net_, bin, model_);
+      if (!option) return;  // some bin fits no block type
+      chosen.push_back(*option);
+      cost += model_.options[static_cast<std::size_t>(*option)].cost;
+    }
+    if (cost + kCostSlack >= bestCost_) return;
+    bestCost_ = cost;
+    best_.partitions.assign(bins_.begin(), bins_.end());
+    best_.optionIndex = std::move(chosen);
+  }
+
+  const Network& net_;
+  const ProgCostModel& model_;
+  MultiTypeExhaustiveOptions options_;
+  std::vector<BlockId> inner_;
+  double minOptionCost_ = 0;
+  std::vector<BitSet> bins_;
+  TypedPartitioning best_;
+  double bestCost_ = 0;
+  std::uint64_t explored_ = 0;
+  bool timedOut_ = false;
+  std::chrono::steady_clock::time_point deadline_;
+};
+
+}  // namespace
+
+TypedPartitionRun multiTypeExhaustive(
+    const Network& net, const ProgCostModel& model,
+    const MultiTypeExhaustiveOptions& options) {
+  MultiSearch search(net, model, options);
+  return search.run();
+}
+
+std::vector<std::string> verifyTypedPartitioning(
+    const Network& net, const ProgCostModel& model,
+    const TypedPartitioning& typed) {
+  std::vector<std::string> problems;
+  if (typed.partitions.size() != typed.optionIndex.size()) {
+    problems.push_back("partition/option count mismatch");
+    return problems;
+  }
+  BitSet seen = net.emptySet();
+  for (std::size_t i = 0; i < typed.partitions.size(); ++i) {
+    const BitSet& p = typed.partitions[i];
+    const std::string label = "partition #" + std::to_string(i);
+    const int idx = typed.optionIndex[i];
+    if (idx < 0 || idx >= static_cast<int>(model.options.size())) {
+      problems.push_back(label + ": option index out of range");
+      continue;
+    }
+    const ProgBlockOption& o = model.options[static_cast<std::size_t>(idx)];
+    const IoCount io = countIo(net, p, model.mode);
+    if (io.inputs > o.inputs || io.outputs > o.outputs)
+      problems.push_back(label + ": does not fit option " + o.name);
+    if (p.none()) problems.push_back(label + ": empty");
+    p.forEach([&](std::size_t bi) {
+      const BlockId b = static_cast<BlockId>(bi);
+      if (!net.isInner(b))
+        problems.push_back(label + ": member '" + net.block(b).name +
+                           "' is not inner");
+      if (seen.test(bi))
+        problems.push_back(label + ": member '" + net.block(b).name +
+                           "' in two partitions");
+      seen.set(bi);
+    });
+    // Cost sanity: a rational result never uses a partition that costs
+    // more than the blocks it replaces.
+    if (o.cost > model.preDefinedBlockCost * static_cast<double>(p.count()) +
+                     kCostSlack)
+      problems.push_back(label + ": option " + o.name +
+                         " costs more than the blocks it replaces");
+  }
+  return problems;
+}
+
+}  // namespace eblocks::partition

@@ -1,0 +1,12 @@
+#include "partition/problem.h"
+
+namespace eblocks::partition {
+
+PartitionProblem::PartitionProblem(const Network& net, ProgBlockSpec spec)
+    : net_(&net),
+      spec_(spec),
+      inner_(net.innerBlocks()),
+      innerSet_(net.innerSet()),
+      levels_(computeLevels(net)) {}
+
+}  // namespace eblocks::partition

@@ -1,0 +1,59 @@
+// The eBlock partitioning problem (Section 4).
+//
+// Given a network G=(V,E) with sensor blocks as primary inputs and output
+// blocks as primary outputs, find disjoint subgraphs of inner blocks such
+// that each subgraph (1) uses at most i inputs and o outputs of a
+// programmable block, (2) is replaceable by a programmable block with
+// equivalent functionality, and (3) the number of inner blocks after
+// replacement (#unreplaced + #programmable) is minimized.  Single-node
+// subgraphs are invalid: replacing one pre-defined block by one (slightly
+// costlier) programmable block yields no reduction.
+#ifndef EBLOCKS_PARTITION_PROBLEM_H_
+#define EBLOCKS_PARTITION_PROBLEM_H_
+
+#include <vector>
+
+#include "core/levels.h"
+#include "core/network.h"
+#include "core/subgraph.h"
+
+namespace eblocks::partition {
+
+/// Capabilities of the programmable block used for replacement.  The
+/// paper's experiments assume two inputs and two outputs.
+struct ProgBlockSpec {
+  int inputs = 2;
+  int outputs = 2;
+  /// How port usage is counted (kEdges reproduces the paper's Figure 5).
+  CountingMode mode = CountingMode::kEdges;
+};
+
+/// An analyzed problem instance: the network plus precomputed inner-block
+/// universe and levels.  The network must outlive the problem.
+class PartitionProblem {
+ public:
+  PartitionProblem(const Network& net, ProgBlockSpec spec);
+
+  const Network& network() const { return *net_; }
+  const ProgBlockSpec& spec() const { return spec_; }
+
+  /// Inner blocks: the replaceable pre-defined compute blocks.
+  const std::vector<BlockId>& innerBlocks() const { return inner_; }
+  const BitSet& innerSet() const { return innerSet_; }
+  int innerCount() const { return static_cast<int>(inner_.size()); }
+
+  /// Level of every block (max distance from any sensor); the PareDown
+  /// removal tiebreak and the code generator both use this.
+  const std::vector<int>& levels() const { return levels_; }
+
+ private:
+  const Network* net_;
+  ProgBlockSpec spec_;
+  std::vector<BlockId> inner_;
+  BitSet innerSet_;
+  std::vector<int> levels_;
+};
+
+}  // namespace eblocks::partition
+
+#endif  // EBLOCKS_PARTITION_PROBLEM_H_

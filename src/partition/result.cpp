@@ -1,0 +1,11 @@
+#include "partition/result.h"
+
+namespace eblocks::partition {
+
+int Partitioning::coveredBlocks() const {
+  int covered = 0;
+  for (const BitSet& p : partitions) covered += static_cast<int>(p.count());
+  return covered;
+}
+
+}  // namespace eblocks::partition

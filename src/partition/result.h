@@ -1,0 +1,53 @@
+// Partitioning results and the paper's reported metrics.
+#ifndef EBLOCKS_PARTITION_RESULT_H_
+#define EBLOCKS_PARTITION_RESULT_H_
+
+#include <string>
+#include <vector>
+
+#include "core/bitset.h"
+#include "partition/problem.h"
+
+namespace eblocks::partition {
+
+/// The outcome of a partitioning run: disjoint member sets, each destined
+/// for one programmable block.
+struct Partitioning {
+  std::vector<BitSet> partitions;
+
+  /// Number of inner blocks covered by some partition.
+  int coveredBlocks() const;
+
+  /// Blocks replaced: covered inner blocks that disappear from the network.
+  /// Table 1/2's "Inner Blocks (Prog.)" is partitions.size() and
+  /// "Inner Blocks (Total)" is totalAfter().
+  int programmableBlocks() const {
+    return static_cast<int>(partitions.size());
+  }
+
+  /// Inner blocks remaining after replacement:
+  ///   (#inner - covered) + #partitions.
+  int totalAfter(int originalInnerCount) const {
+    return originalInnerCount - coveredBlocks() + programmableBlocks();
+  }
+};
+
+/// A run record: result plus measured wall-clock time, as reported in the
+/// paper's tables.
+struct PartitionRun {
+  std::string algorithm;
+  Partitioning result;
+  double seconds = 0.0;
+  /// True when the algorithm proves its result optimal (exhaustive search
+  /// that ran to completion).
+  bool optimal = false;
+  /// True when the algorithm gave up (e.g. exhaustive hit its time limit);
+  /// `result` then holds the best solution found so far.
+  bool timedOut = false;
+  /// Nodes explored (search-effort metric; 0 when not applicable).
+  std::uint64_t explored = 0;
+};
+
+}  // namespace eblocks::partition
+
+#endif  // EBLOCKS_PARTITION_RESULT_H_

@@ -1,0 +1,25 @@
+#include "partition/validity.h"
+
+namespace eblocks::partition {
+
+bool fitsProgrammable(const Network& net, const BitSet& members,
+                      const ProgBlockSpec& spec) {
+  const IoCount io = countIo(net, members, spec.mode);
+  return io.inputs <= spec.inputs && io.outputs <= spec.outputs;
+}
+
+bool isValidPartition(const PartitionProblem& problem, const BitSet& members,
+                      bool requireConvex) {
+  if (members.count() < 2) return false;
+  bool allInner = true;
+  members.forEach([&](std::size_t b) {
+    if (!problem.network().isInner(static_cast<BlockId>(b))) allInner = false;
+  });
+  if (!allInner) return false;
+  if (!fitsProgrammable(problem.network(), members, problem.spec()))
+    return false;
+  if (requireConvex && !isConvex(problem.network(), members)) return false;
+  return true;
+}
+
+}  // namespace eblocks::partition

@@ -1,0 +1,34 @@
+// Candidate-partition validity: the "fits in a programmable block" test.
+#ifndef EBLOCKS_PARTITION_VALIDITY_H_
+#define EBLOCKS_PARTITION_VALIDITY_H_
+
+#include "core/subgraph.h"
+#include "partition/problem.h"
+
+namespace eblocks::partition {
+
+/// True when the subgraph's port usage fits the programmable block
+/// (inputs <= spec.inputs and outputs <= spec.outputs, under spec.mode).
+/// Note: a single-node subgraph can fit yet still be an *invalid
+/// partition*; that rule (|P| >= 2) is enforced by the algorithms and by
+/// verifyPartitioning, not here.
+bool fitsProgrammable(const Network& net, const BitSet& members,
+                      const ProgBlockSpec& spec);
+
+/// Full subgraph validity as required of a final partition: fits, has at
+/// least two members, all members inner, and (optionally) convex.
+///
+/// Convexity is NOT required by default.  The paper never imposes it, and
+/// in the eBlocks packet model a non-convex replacement stays behaviorally
+/// equivalent: when a path leaves the partition and re-enters, the merged
+/// block is simply re-activated by the returning packet, and emit-on-change
+/// makes the interim evaluation idempotent.  (The classical DAG-covering
+/// convexity constraint guards clocked combinational cycles, which do not
+/// exist here.)  Pass `requireConvex = true` for the classical formulation;
+/// the ablation bench compares both.
+bool isValidPartition(const PartitionProblem& problem, const BitSet& members,
+                      bool requireConvex = false);
+
+}  // namespace eblocks::partition
+
+#endif  // EBLOCKS_PARTITION_VALIDITY_H_

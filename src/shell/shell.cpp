@@ -1,0 +1,318 @@
+#include "shell/shell.h"
+
+#include <ostream>
+#include <sstream>
+
+#include "blocks/catalog.h"
+#include "designs/library.h"
+#include "io/dot.h"
+#include "io/netlist.h"
+
+namespace eblocks::shell {
+
+namespace {
+
+constexpr char kHelp[] = R"(commands:
+  new <name...>                  start a fresh design
+  block <instance> <type>        place a catalog block
+  connect <a>.<port> <b>.<port>  wire an output to an input
+  design <table-1 name...>       load a library design
+  netlist                        print the design as a netlist
+  validate                       structural check
+  sim                            (re)start the simulator
+  set <sensor> <0|1>             drive a sensor and settle
+  press <sensor>                 1-then-0 pulse
+  tick [n]                       advance the timer
+  outputs                        print output block values
+  probe <block> <var>            read a block variable
+  synth [algorithm] [ins outs]   run synthesis (default paredown 2 2)
+  report                         print the last synthesis report
+  use synth|source               choose the network 'sim' runs
+  dot                            print the active network as DOT
+  emitc <prog-instance>          print generated C for a prog block
+  help                           this text
+  quit                           leave the shell
+)";
+
+std::string restOfLine(std::istream& in) {
+  std::string rest;
+  std::getline(in, rest);
+  const std::size_t start = rest.find_first_not_of(" \t");
+  if (start == std::string::npos) return "";
+  const std::size_t end = rest.find_last_not_of(" \t\r");
+  return rest.substr(start, end - start + 1);
+}
+
+bool parseEndpointRef(const std::string& token, std::string& block,
+                      int& port) {
+  const std::size_t dot = token.rfind('.');
+  if (dot == std::string::npos || dot + 1 >= token.size()) return false;
+  block = token.substr(0, dot);
+  try {
+    port = std::stoi(token.substr(dot + 1));
+  } catch (const std::exception&) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Shell::Shell() : source_("design") {}
+
+const Network& Shell::activeNetwork() const {
+  return useSynth_ && synthResult_ ? synthResult_->network : source_;
+}
+
+bool Shell::ensureSimulator(std::ostream& out) {
+  if (simulator_) return true;
+  try {
+    simulator_ = std::make_unique<sim::Simulator>(activeNetwork());
+  } catch (const std::exception& e) {
+    out << "error: " << e.what() << "\n";
+    return false;
+  }
+  return true;
+}
+
+bool Shell::execute(const std::string& line, std::ostream& out) {
+  std::istringstream in(line);
+  std::string cmd;
+  if (!(in >> cmd) || cmd[0] == '#') return true;
+  try {
+    if (cmd == "quit" || cmd == "exit") return false;
+    if (cmd == "help") {
+      out << kHelp;
+    } else if (cmd == "new") {
+      std::string name = restOfLine(in);
+      source_ = Network(name.empty() ? "design" : name);
+      synthResult_.reset();
+      simulator_.reset();
+      useSynth_ = false;
+      out << "new design '" << source_.name() << "'\n";
+    } else if (cmd == "block") {
+      cmdBlock(in, out);
+    } else if (cmd == "connect") {
+      cmdConnect(in, out);
+    } else if (cmd == "design") {
+      cmdDesign(in, out);
+    } else if (cmd == "netlist") {
+      out << io::writeNetlist(source_);
+    } else if (cmd == "validate") {
+      const auto problems = activeNetwork().validate();
+      if (problems.empty()) {
+        out << "ok\n";
+      } else {
+        for (const auto& p : problems) out << "problem: " << p << "\n";
+      }
+    } else if (cmd == "sim") {
+      cmdSim(out);
+    } else if (cmd == "set") {
+      cmdSet(in, out, false);
+    } else if (cmd == "press") {
+      cmdSet(in, out, true);
+    } else if (cmd == "tick") {
+      cmdTick(in, out);
+    } else if (cmd == "outputs") {
+      cmdOutputs(out);
+    } else if (cmd == "probe") {
+      cmdProbe(in, out);
+    } else if (cmd == "synth") {
+      cmdSynth(in, out);
+    } else if (cmd == "report") {
+      if (synthResult_) {
+        out << synthResult_->report();
+      } else {
+        out << "error: no synthesis has run\n";
+      }
+    } else if (cmd == "use") {
+      cmdUse(in, out);
+    } else if (cmd == "dot") {
+      out << io::toDot(activeNetwork());
+    } else if (cmd == "emitc") {
+      cmdEmitC(in, out);
+    } else {
+      out << "error: unknown command '" << cmd << "' (try 'help')\n";
+    }
+  } catch (const std::exception& e) {
+    out << "error: " << e.what() << "\n";
+  }
+  return true;
+}
+
+void Shell::run(std::istream& in, std::ostream& out, bool echo) {
+  std::string line;
+  while (std::getline(in, line)) {
+    if (echo) out << "> " << line << "\n";
+    if (!execute(line, out)) return;
+  }
+}
+
+void Shell::cmdBlock(std::istream& args, std::ostream& out) {
+  std::string instance, type;
+  if (!(args >> instance >> type)) {
+    out << "usage: block <instance> <type>\n";
+    return;
+  }
+  source_.addBlock(instance, blocks::defaultCatalog().get(type));
+  simulator_.reset();
+  out << "placed " << instance << " (" << type << ")\n";
+}
+
+void Shell::cmdConnect(std::istream& args, std::ostream& out) {
+  std::string a, b;
+  if (!(args >> a >> b)) {
+    out << "usage: connect <from>.<port> <to>.<port>\n";
+    return;
+  }
+  std::string fromBlock, toBlock;
+  int fromPort = 0, toPort = 0;
+  if (!parseEndpointRef(a, fromBlock, fromPort) ||
+      !parseEndpointRef(b, toBlock, toPort)) {
+    out << "usage: connect <from>.<port> <to>.<port>\n";
+    return;
+  }
+  const auto from = source_.findBlock(fromBlock);
+  const auto to = source_.findBlock(toBlock);
+  if (!from || !to) {
+    out << "error: unknown block\n";
+    return;
+  }
+  source_.connect(*from, fromPort, *to, toPort);
+  simulator_.reset();
+  out << "connected " << a << " -> " << b << "\n";
+}
+
+void Shell::cmdDesign(std::istream& args, std::ostream& out) {
+  const std::string name = restOfLine(args);
+  source_ = designs::byName(name);
+  synthResult_.reset();
+  simulator_.reset();
+  useSynth_ = false;
+  out << "loaded '" << source_.name() << "' (" << source_.blockCount()
+      << " blocks, " << source_.innerBlocks().size() << " inner)\n";
+}
+
+void Shell::cmdSim(std::ostream& out) {
+  simulator_.reset();
+  if (ensureSimulator(out))
+    out << "simulating '" << activeNetwork().name() << "'\n";
+}
+
+void Shell::cmdSet(std::istream& args, std::ostream& out, bool press) {
+  std::string sensor;
+  std::int64_t value = 0;
+  if (!(args >> sensor) || (!press && !(args >> value))) {
+    out << (press ? "usage: press <sensor>\n" : "usage: set <sensor> <0|1>\n");
+    return;
+  }
+  if (!ensureSimulator(out)) return;
+  if (press) {
+    simulator_->apply(sensor, 1);
+    simulator_->apply(sensor, 0);
+  } else {
+    simulator_->apply(sensor, value);
+  }
+  cmdOutputs(out);
+}
+
+void Shell::cmdTick(std::istream& args, std::ostream& out) {
+  int n = 1;
+  args >> n;
+  if (!ensureSimulator(out)) return;
+  for (int i = 0; i < n; ++i) simulator_->tick();
+  cmdOutputs(out);
+}
+
+void Shell::cmdOutputs(std::ostream& out) {
+  if (!ensureSimulator(out)) return;
+  const Network& net = simulator_->network();
+  bool any = false;
+  for (BlockId b = 0; b < net.blockCount(); ++b)
+    if (net.isOutput(b)) {
+      out << "  " << net.block(b).name << " = "
+          << simulator_->outputValue(b) << "\n";
+      any = true;
+    }
+  if (!any) out << "  (no output blocks)\n";
+}
+
+void Shell::cmdProbe(std::istream& args, std::ostream& out) {
+  std::string block, var;
+  if (!(args >> block >> var)) {
+    out << "usage: probe <block> <var>\n";
+    return;
+  }
+  if (!ensureSimulator(out)) return;
+  const auto id = simulator_->network().findBlock(block);
+  if (!id) {
+    out << "error: unknown block '" << block << "'\n";
+    return;
+  }
+  out << "  " << block << "." << var << " = " << simulator_->probe(*id, var)
+      << "\n";
+}
+
+void Shell::cmdSynth(std::istream& args, std::ostream& out) {
+  synth::SynthOptions options;
+  std::string algorithm;
+  if (args >> algorithm) {
+    if (algorithm == "paredown") {
+      options.algorithm = synth::Algorithm::kPareDown;
+    } else if (algorithm == "exhaustive") {
+      options.algorithm = synth::Algorithm::kExhaustive;
+    } else if (algorithm == "aggregation") {
+      options.algorithm = synth::Algorithm::kAggregation;
+    } else {
+      out << "error: unknown algorithm '" << algorithm << "'\n";
+      return;
+    }
+  }
+  int ins = 0, outs = 0;
+  if (args >> ins >> outs) {
+    options.spec.inputs = ins;
+    options.spec.outputs = outs;
+  }
+  synthResult_ = synth::synthesize(source_, options);
+  simulator_.reset();
+  out << synthResult_->report();
+}
+
+void Shell::cmdUse(std::istream& args, std::ostream& out) {
+  std::string which;
+  args >> which;
+  if (which == "synth") {
+    if (!synthResult_) {
+      out << "error: no synthesis has run\n";
+      return;
+    }
+    useSynth_ = true;
+  } else if (which == "source") {
+    useSynth_ = false;
+  } else {
+    out << "usage: use synth|source\n";
+    return;
+  }
+  simulator_.reset();
+  out << "active network: " << activeNetwork().name() << "\n";
+}
+
+void Shell::cmdEmitC(std::istream& args, std::ostream& out) {
+  std::string instance;
+  if (!(args >> instance)) {
+    out << "usage: emitc <prog-instance>\n";
+    return;
+  }
+  if (!synthResult_) {
+    out << "error: no synthesis has run\n";
+    return;
+  }
+  for (const auto& b : synthResult_->blocks)
+    if (b.instanceName == instance) {
+      out << b.cSource;
+      return;
+    }
+  out << "error: no synthesized block named '" << instance << "'\n";
+}
+
+}  // namespace eblocks::shell

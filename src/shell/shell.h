@@ -1,0 +1,86 @@
+// Scriptable capture/simulate/synthesize shell: the command-line
+// counterpart of the paper's Java GUI + interpreter (Figure 2).  Every GUI
+// interaction has a command here: placing blocks, drawing connections,
+// poking sensors, watching outputs, and invoking synthesis.
+//
+// The shell is a library so tests can drive it deterministically;
+// examples/eblocks_shell.cpp wraps it for interactive use.
+//
+// Commands (one per line; '#' comments):
+//   new <name...>                  start a fresh design
+//   block <instance> <type>        place a catalog block
+//   connect <a>.<port> <b>.<port>  wire an output to an input
+//   design <table-1 name...>       load a library design
+//   netlist                        print the current design as a netlist
+//   validate                       structural check
+//   sim                            (re)start the simulator
+//   set <sensor> <0|1>             drive a sensor and settle
+//   press <sensor>                 1-then-0 pulse
+//   tick [n]                       advance the timer
+//   outputs                        print every output block's value
+//   probe <block> <var>            read any block variable
+//   synth [paredown|exhaustive|aggregation] [<ins> <outs>]
+//   report                         print the last synthesis report
+//   use synth|source               select which network 'sim' runs
+//   dot                            print the active network as DOT
+//   emitc <prog-instance>          print generated C for a synthesized block
+//   help                           list commands
+//   quit                           leave the shell
+#ifndef EBLOCKS_SHELL_SHELL_H_
+#define EBLOCKS_SHELL_SHELL_H_
+
+#include <iosfwd>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/network.h"
+#include "sim/simulator.h"
+#include "synth/synthesizer.h"
+
+namespace eblocks::shell {
+
+class Shell {
+ public:
+  Shell();
+
+  /// Executes one command line; output (including error messages) goes to
+  /// `out`.  Returns false when the command asks to quit.
+  bool execute(const std::string& line, std::ostream& out);
+
+  /// Reads commands from `in` until EOF or quit.  When `echo` is set each
+  /// command is echoed with a "> " prefix (useful for transcripts).
+  void run(std::istream& in, std::ostream& out, bool echo = false);
+
+  /// The design being edited.
+  const Network& source() const { return source_; }
+  /// The synthesized network, if synth ran.
+  const std::optional<synth::SynthResult>& synthesized() const {
+    return synthResult_;
+  }
+
+ private:
+  void cmdBlock(std::istream& args, std::ostream& out);
+  void cmdConnect(std::istream& args, std::ostream& out);
+  void cmdDesign(std::istream& args, std::ostream& out);
+  void cmdSim(std::ostream& out);
+  void cmdSet(std::istream& args, std::ostream& out, bool press);
+  void cmdTick(std::istream& args, std::ostream& out);
+  void cmdOutputs(std::ostream& out);
+  void cmdProbe(std::istream& args, std::ostream& out);
+  void cmdSynth(std::istream& args, std::ostream& out);
+  void cmdUse(std::istream& args, std::ostream& out);
+  void cmdEmitC(std::istream& args, std::ostream& out);
+
+  const Network& activeNetwork() const;
+  bool ensureSimulator(std::ostream& out);
+
+  Network source_;
+  std::optional<synth::SynthResult> synthResult_;
+  bool useSynth_ = false;
+  std::unique_ptr<sim::Simulator> simulator_;
+};
+
+}  // namespace eblocks::shell
+
+#endif  // EBLOCKS_SHELL_SHELL_H_

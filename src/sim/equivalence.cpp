@@ -1,0 +1,77 @@
+#include "sim/equivalence.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace eblocks::sim {
+
+std::string Mismatch::describe() const {
+  return "after step " + std::to_string(stepIndex) + ", output '" + output +
+         "': reference=" + std::to_string(expected) +
+         " candidate=" + std::to_string(actual);
+}
+
+namespace {
+
+std::vector<std::string> sortedNames(const Network& net,
+                                     bool (Network::*pred)(BlockId) const) {
+  std::vector<std::string> names;
+  for (BlockId b = 0; b < net.blockCount(); ++b)
+    if ((net.*pred)(b)) names.push_back(net.block(b).name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace
+
+std::optional<Mismatch> checkEquivalence(const Network& reference,
+                                         const Network& candidate,
+                                         const Stimulus& script,
+                                         SimOptions opts) {
+  const auto refSensors = sortedNames(reference, &Network::isSensor);
+  const auto candSensors = sortedNames(candidate, &Network::isSensor);
+  if (refSensors != candSensors)
+    throw std::invalid_argument(
+        "checkEquivalence: sensor sets differ between networks");
+  const auto refOutputs = sortedNames(reference, &Network::isOutput);
+  const auto candOutputs = sortedNames(candidate, &Network::isOutput);
+  if (refOutputs != candOutputs)
+    throw std::invalid_argument(
+        "checkEquivalence: output sets differ between networks");
+
+  Simulator refSim(reference, opts);
+  Simulator candSim(candidate, opts);
+  const auto& steps = script.steps();
+  for (int i = 0; i < static_cast<int>(steps.size()); ++i) {
+    const StimulusStep& s = steps[static_cast<std::size_t>(i)];
+    if (s.kind == StimulusStep::Kind::kSetSensor) {
+      refSim.setSensor(s.sensor, s.value);
+      refSim.settle();
+      candSim.setSensor(s.sensor, s.value);
+      candSim.settle();
+    } else {
+      refSim.tick();
+      candSim.tick();
+    }
+    for (const std::string& out : refOutputs) {
+      const std::int64_t e = refSim.outputValue(out);
+      const std::int64_t a = candSim.outputValue(out);
+      if (e != a) return Mismatch{i, out, e, a};
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Mismatch> fuzzEquivalence(const Network& reference,
+                                        const Network& candidate, int rounds,
+                                        int eventsPerRound, std::uint32_t seed,
+                                        SimOptions opts) {
+  for (int r = 0; r < rounds; ++r) {
+    const Stimulus script =
+        randomStimulus(reference, eventsPerRound, seed + static_cast<std::uint32_t>(r) * 9973u);
+    if (auto m = checkEquivalence(reference, candidate, script, opts)) return m;
+  }
+  return std::nullopt;
+}
+
+}  // namespace eblocks::sim

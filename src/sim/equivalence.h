@@ -1,0 +1,44 @@
+// Behavioral equivalence checking between two networks.
+//
+// Synthesis must preserve observable behavior: for any stimulus, both the
+// original (pre-defined blocks) and the synthesized (programmable blocks)
+// network must show the same output-block values once packets settle.
+// Output blocks are matched by instance name; sensors likewise.
+#ifndef EBLOCKS_SIM_EQUIVALENCE_H_
+#define EBLOCKS_SIM_EQUIVALENCE_H_
+
+#include <optional>
+#include <string>
+
+#include "sim/stimulus.h"
+
+namespace eblocks::sim {
+
+/// A detected behavioral divergence.
+struct Mismatch {
+  int stepIndex = 0;          ///< stimulus step after which outputs differ
+  std::string output;         ///< output block instance name
+  std::int64_t expected = 0;  ///< value in the reference network
+  std::int64_t actual = 0;    ///< value in the network under test
+  std::string describe() const;
+};
+
+/// Runs `script` against both networks and compares all output blocks at
+/// every step boundary.  Returns the first mismatch, or nullopt when the
+/// networks agree everywhere.  Throws std::invalid_argument when the
+/// networks' sensor/output names do not correspond.
+std::optional<Mismatch> checkEquivalence(const Network& reference,
+                                         const Network& candidate,
+                                         const Stimulus& script,
+                                         SimOptions opts = {});
+
+/// Fuzz variant: `rounds` random scripts of `eventsPerRound` events.
+std::optional<Mismatch> fuzzEquivalence(const Network& reference,
+                                        const Network& candidate, int rounds,
+                                        int eventsPerRound,
+                                        std::uint32_t seed,
+                                        SimOptions opts = {});
+
+}  // namespace eblocks::sim
+
+#endif  // EBLOCKS_SIM_EQUIVALENCE_H_

@@ -1,0 +1,66 @@
+#include "sim/stimulus.h"
+
+namespace eblocks::sim {
+
+Stimulus& Stimulus::set(std::string sensor, std::int64_t value) {
+  StimulusStep s;
+  s.kind = StimulusStep::Kind::kSetSensor;
+  s.sensor = std::move(sensor);
+  s.value = value;
+  steps_.push_back(std::move(s));
+  return *this;
+}
+
+Stimulus& Stimulus::press(const std::string& sensor) {
+  set(sensor, 1);
+  set(sensor, 0);
+  return *this;
+}
+
+Stimulus& Stimulus::tick(int count) {
+  for (int i = 0; i < count; ++i) steps_.push_back(StimulusStep{});
+  return *this;
+}
+
+std::vector<std::int64_t> Stimulus::run(Simulator& simulator) const {
+  const Network& net = simulator.network();
+  std::vector<BlockId> outputs;
+  for (BlockId b = 0; b < net.blockCount(); ++b)
+    if (net.isOutput(b)) outputs.push_back(b);
+  std::vector<std::int64_t> observed;
+  observed.reserve(steps_.size() * outputs.size());
+  for (const StimulusStep& s : steps_) {
+    if (s.kind == StimulusStep::Kind::kSetSensor) {
+      simulator.setSensor(s.sensor, s.value);
+      simulator.settle();
+    } else {
+      simulator.tick();
+    }
+    for (BlockId b : outputs) observed.push_back(simulator.outputValue(b));
+  }
+  return observed;
+}
+
+Stimulus randomStimulus(const Network& net, int events, std::uint32_t seed) {
+  std::vector<std::string> sensors;
+  for (BlockId b = 0; b < net.blockCount(); ++b)
+    if (net.isSensor(b)) sensors.push_back(net.block(b).name);
+  std::mt19937 rng(seed);
+  Stimulus st;
+  if (sensors.empty()) {
+    st.tick(events);
+    return st;
+  }
+  std::uniform_int_distribution<std::size_t> pick(0, sensors.size() - 1);
+  std::uniform_int_distribution<int> coin(0, 3);
+  for (int i = 0; i < events; ++i) {
+    if (coin(rng) == 0) {
+      st.tick();
+    } else {
+      st.set(sensors[pick(rng)], coin(rng) < 2 ? 1 : 0);
+    }
+  }
+  return st;
+}
+
+}  // namespace eblocks::sim

@@ -1,0 +1,48 @@
+// Stimulus scripts: named sequences of sensor changes and timer ticks that
+// can be replayed against any network exposing the same sensor names.  Used
+// by the equivalence checker and the examples.
+#ifndef EBLOCKS_SIM_STIMULUS_H_
+#define EBLOCKS_SIM_STIMULUS_H_
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace eblocks::sim {
+
+/// One scripted action.
+struct StimulusStep {
+  enum class Kind { kSetSensor, kTick };
+  Kind kind = Kind::kTick;
+  std::string sensor;         // kSetSensor
+  std::int64_t value = 0;     // kSetSensor
+};
+
+/// An ordered stimulus script.  Each step settles the network, so outputs
+/// are stable at every step boundary (checkpoint).
+class Stimulus {
+ public:
+  Stimulus& set(std::string sensor, std::int64_t value);
+  Stimulus& press(const std::string& sensor);  ///< set 1 then 0
+  Stimulus& tick(int count = 1);
+
+  const std::vector<StimulusStep>& steps() const { return steps_; }
+
+  /// Applies the full script; returns the output-block values observed at
+  /// every step boundary, flattened in (step, output-block-id) order.
+  std::vector<std::int64_t> run(Simulator& simulator) const;
+
+ private:
+  std::vector<StimulusStep> steps_;
+};
+
+/// Builds a randomized stimulus for a network: `events` random sensor
+/// flips/ticks, reproducible from `seed`.  Useful for equivalence fuzzing.
+Stimulus randomStimulus(const Network& net, int events, std::uint32_t seed);
+
+}  // namespace eblocks::sim
+
+#endif  // EBLOCKS_SIM_STIMULUS_H_

@@ -1,0 +1,187 @@
+#include "synth/synthesizer.h"
+
+#include <map>
+#include <set>
+#include <stdexcept>
+
+#include "behavior/printer.h"
+#include "blocks/catalog.h"
+#include "codegen/c_emitter.h"
+#include "partition/aggregation.h"
+#include "partition/exhaustive.h"
+#include "partition/paredown.h"
+#include "partition/verify.h"
+
+namespace eblocks::synth {
+
+const char* toString(Algorithm a) {
+  switch (a) {
+    case Algorithm::kPareDown: return "paredown";
+    case Algorithm::kExhaustive: return "exhaustive";
+    case Algorithm::kAggregation: return "aggregation";
+  }
+  return "?";
+}
+
+namespace {
+
+partition::PartitionRun runAlgorithm(const partition::PartitionProblem& problem,
+                                     const SynthOptions& options) {
+  switch (options.algorithm) {
+    case Algorithm::kPareDown:
+      return partition::pareDown(problem);
+    case Algorithm::kAggregation:
+      return partition::aggregation(problem);
+    case Algorithm::kExhaustive: {
+      partition::ExhaustiveOptions ex;
+      ex.timeLimitSeconds = options.exhaustiveTimeLimitSeconds;
+      ex.seed = partition::pareDown(problem).result;
+      return partition::exhaustiveSearch(problem, ex);
+    }
+  }
+  throw std::logic_error("unknown algorithm");
+}
+
+}  // namespace
+
+SynthResult synthesize(const Network& source, const SynthOptions& options) {
+  {
+    const auto problems = source.validate();
+    if (!problems.empty()) {
+      std::string msg = "synthesize: source network is not well-formed:";
+      for (const std::string& p : problems) msg += "\n  - " + p;
+      throw std::invalid_argument(msg);
+    }
+  }
+
+  partition::PartitionProblem problem(source, options.spec);
+  SynthResult result;
+  result.originalInner = problem.innerCount();
+  result.run = runAlgorithm(problem, options);
+
+  {
+    const auto violations =
+        partition::verifyPartitioning(problem, result.run.result);
+    if (!violations.empty()) {
+      std::string msg = "synthesize: partitioning failed verification:";
+      for (const std::string& v : violations) msg += "\n  - " + v;
+      throw std::logic_error(msg);
+    }
+  }
+
+  const auto& partitions = result.run.result.partitions;
+  result.programmableBlocks = static_cast<int>(partitions.size());
+  result.innerAfter = result.run.result.totalAfter(result.originalInner);
+
+  // Which partition (if any) owns each block.
+  std::vector<int> partOf(source.blockCount(), -1);
+  for (std::size_t k = 0; k < partitions.size(); ++k)
+    partitions[k].forEach(
+        [&](std::size_t b) { partOf[b] = static_cast<int>(k); });
+
+  // Merge behaviors per partition.
+  std::vector<codegen::MergedProgram> mergedPrograms;
+  mergedPrograms.reserve(partitions.size());
+  for (const BitSet& p : partitions)
+    mergedPrograms.push_back(codegen::mergePartitionProgram(
+        source, p, problem.levels(), options.spec.mode));
+
+  // Build the optimized network.
+  Network net(source.name() + "_synth");
+  std::vector<BlockId> newId(source.blockCount(), kNoBlock);
+  for (BlockId b = 0; b < source.blockCount(); ++b)
+    if (partOf[b] < 0)
+      newId[b] = net.addBlock(source.block(b).name, source.block(b).type);
+
+  std::vector<BlockId> progId(partitions.size(), kNoBlock);
+  for (std::size_t k = 0; k < partitions.size(); ++k) {
+    const codegen::MergedProgram& mp = mergedPrograms[k];
+    // The synthesized type has exactly the used ports; it targets the
+    // physical spec.inputs x spec.outputs programmable block.
+    std::vector<std::string> ins, outs;
+    for (int i = 0; i < mp.inputCount(); ++i)
+      ins.push_back("in" + std::to_string(i));
+    for (int i = 0; i < mp.outputCount(); ++i)
+      outs.push_back("out" + std::to_string(i));
+    bool sequential = false;
+    for (BlockId b : mp.members)
+      sequential = sequential || source.block(b).type->sequential();
+    auto type = std::make_shared<const BlockType>(
+        "prog_" + std::to_string(options.spec.inputs) + "x" +
+            std::to_string(options.spec.outputs) + "_p" + std::to_string(k),
+        BlockClass::kCompute, std::move(ins), std::move(outs),
+        behavior::toSource(mp.program), sequential, /*programmable=*/true);
+    std::string instance = "prog" + std::to_string(k);
+    while (net.findBlock(instance)) instance += "_";
+    progId[k] = net.addBlock(instance, std::move(type));
+
+    SynthesizedBlock sb;
+    sb.instanceName = instance;
+    sb.merged = std::move(mergedPrograms[k]);
+    if (options.emitC) sb.cSource = codegen::emitC(sb.merged);
+    for (BlockId b : sb.merged.members)
+      sb.replaced.push_back(source.block(b).name);
+    result.blocks.push_back(std::move(sb));
+  }
+
+  // Port lookup tables per partition.
+  std::vector<std::map<Connection, int>> inPort(partitions.size());
+  std::vector<std::map<Connection, int>> outPort(partitions.size());
+  for (std::size_t k = 0; k < partitions.size(); ++k) {
+    const codegen::MergedProgram& mp = result.blocks[k].merged;
+    for (int port = 0; port < mp.inputCount(); ++port)
+      for (const Connection& c :
+           mp.inputEdges[static_cast<std::size_t>(port)])
+        inPort[k][c] = port;
+    for (int port = 0; port < mp.outputCount(); ++port)
+      for (const Connection& c :
+           mp.outputEdges[static_cast<std::size_t>(port)])
+        outPort[k][c] = port;
+  }
+
+  // Rewire.
+  std::set<std::pair<Endpoint, Endpoint>> added;
+  for (const Connection& c : source.connections()) {
+    const int pf = partOf[c.from.block];
+    const int pt = partOf[c.to.block];
+    if (pf >= 0 && pf == pt) continue;  // fully internal to one partition
+    Endpoint from, to;
+    if (pf >= 0) {
+      from = Endpoint{progId[static_cast<std::size_t>(pf)],
+                      static_cast<std::uint16_t>(
+                          outPort[static_cast<std::size_t>(pf)].at(c))};
+    } else {
+      from = Endpoint{newId[c.from.block], c.from.port};
+    }
+    if (pt >= 0) {
+      to = Endpoint{progId[static_cast<std::size_t>(pt)],
+                    static_cast<std::uint16_t>(
+                        inPort[static_cast<std::size_t>(pt)].at(c))};
+    } else {
+      to = Endpoint{newId[c.to.block], c.to.port};
+    }
+    if (added.emplace(from, to).second) net.connect(from, to);
+  }
+
+  result.network = std::move(net);
+  return result;
+}
+
+std::string SynthResult::report() const {
+  std::string s;
+  s += "Synthesis report (" + run.algorithm + ")\n";
+  s += "  inner blocks: " + std::to_string(originalInner) + " -> " +
+       std::to_string(innerAfter) + " (" +
+       std::to_string(programmableBlocks) + " programmable)\n";
+  s += "  partitioning time: " + std::to_string(run.seconds * 1000.0) +
+       " ms\n";
+  for (const SynthesizedBlock& b : blocks) {
+    s += "  " + b.instanceName + " <-";
+    for (const std::string& r : b.replaced) s += " " + r;
+    s += "  [" + std::to_string(b.merged.inputCount()) + " in, " +
+         std::to_string(b.merged.outputCount()) + " out]\n";
+  }
+  return s;
+}
+
+}  // namespace eblocks::synth

@@ -1,0 +1,59 @@
+// End-to-end synthesis (Figure 2): partition the network, generate merged
+// behaviors, and produce the optimized network in which each partition is
+// replaced by a programmable block running generated code.
+#ifndef EBLOCKS_SYNTH_SYNTHESIZER_H_
+#define EBLOCKS_SYNTH_SYNTHESIZER_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "codegen/merge_program.h"
+#include "partition/problem.h"
+#include "partition/result.h"
+
+namespace eblocks::synth {
+
+/// Which partitioning algorithm drives the synthesis.
+enum class Algorithm { kPareDown, kExhaustive, kAggregation };
+
+const char* toString(Algorithm a);
+
+struct SynthOptions {
+  partition::ProgBlockSpec spec;           ///< target programmable block
+  Algorithm algorithm = Algorithm::kPareDown;
+  double exhaustiveTimeLimitSeconds = 60;  ///< only for kExhaustive
+  bool emitC = true;                       ///< produce C sources per block
+};
+
+/// One synthesized programmable block.
+struct SynthesizedBlock {
+  std::string instanceName;           ///< name in the synthesized network
+  codegen::MergedProgram merged;      ///< behavior + port maps
+  std::string cSource;                ///< generated C (empty if !emitC)
+  std::vector<std::string> replaced;  ///< names of absorbed blocks
+};
+
+/// The synthesis result: the optimized network plus per-block programs and
+/// the metrics the paper's tables report.
+struct SynthResult {
+  Network network;                 ///< optimized network
+  partition::PartitionRun run;     ///< partitioning record
+  std::vector<SynthesizedBlock> blocks;
+  int originalInner = 0;
+  int innerAfter = 0;              ///< Table "Inner Blocks (Total)"
+  int programmableBlocks = 0;      ///< Table "Inner Blocks (Prog.)"
+
+  /// Human-readable synthesis report.
+  std::string report() const;
+};
+
+/// Runs the full pipeline.  Throws std::invalid_argument when the source
+/// network fails validation, and std::logic_error if the chosen algorithm
+/// produces an unverifiable partitioning (internal error by construction).
+SynthResult synthesize(const Network& source, const SynthOptions& options = {});
+
+}  // namespace eblocks::synth
+
+#endif  // EBLOCKS_SYNTH_SYNTHESIZER_H_

@@ -1,0 +1,96 @@
+#include "behavior/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace eblocks::behavior {
+namespace {
+
+std::vector<TokenKind> kinds(const std::string& src) {
+  std::vector<TokenKind> out;
+  for (const Token& t : lex(src)) out.push_back(t.kind);
+  return out;
+}
+
+TEST(Lexer, EmptyInputYieldsEnd) {
+  EXPECT_EQ(kinds(""), (std::vector<TokenKind>{TokenKind::kEnd}));
+}
+
+TEST(Lexer, Keywords) {
+  EXPECT_EQ(kinds("var if else true false"),
+            (std::vector<TokenKind>{TokenKind::kKwVar, TokenKind::kKwIf,
+                                    TokenKind::kKwElse, TokenKind::kKwTrue,
+                                    TokenKind::kKwFalse, TokenKind::kEnd}));
+}
+
+TEST(Lexer, IdentifiersAndKeywordPrefixes) {
+  const auto toks = lex("variable iffy x_1 _x");
+  ASSERT_EQ(toks.size(), 5u);
+  for (int i = 0; i < 4; ++i)
+    EXPECT_EQ(toks[static_cast<std::size_t>(i)].kind, TokenKind::kIdent);
+  EXPECT_EQ(toks[0].text, "variable");
+  EXPECT_EQ(toks[1].text, "iffy");
+}
+
+TEST(Lexer, IntegerLiterals) {
+  const auto toks = lex("0 42 2147483647");
+  EXPECT_EQ(toks[0].intValue, 0);
+  EXPECT_EQ(toks[1].intValue, 42);
+  EXPECT_EQ(toks[2].intValue, 2147483647);
+}
+
+TEST(Lexer, IntegerOverflowRejected) {
+  EXPECT_THROW(lex("99999999999"), LexError);
+}
+
+TEST(Lexer, TwoCharOperators) {
+  EXPECT_EQ(kinds("== != <= >= && ||"),
+            (std::vector<TokenKind>{TokenKind::kEq, TokenKind::kNe,
+                                    TokenKind::kLe, TokenKind::kGe,
+                                    TokenKind::kAndAnd, TokenKind::kOrOr,
+                                    TokenKind::kEnd}));
+}
+
+TEST(Lexer, SingleCharOperators) {
+  EXPECT_EQ(kinds("= < > + - * / % ! ( ) { } ;"),
+            (std::vector<TokenKind>{
+                TokenKind::kAssign, TokenKind::kLt, TokenKind::kGt,
+                TokenKind::kPlus, TokenKind::kMinus, TokenKind::kStar,
+                TokenKind::kSlash, TokenKind::kPercent, TokenKind::kBang,
+                TokenKind::kLParen, TokenKind::kRParen, TokenKind::kLBrace,
+                TokenKind::kRBrace, TokenKind::kSemicolon, TokenKind::kEnd}));
+}
+
+TEST(Lexer, CommentsBothStyles) {
+  EXPECT_EQ(kinds("a # comment to end\nb // another\nc"),
+            (std::vector<TokenKind>{TokenKind::kIdent, TokenKind::kIdent,
+                                    TokenKind::kIdent, TokenKind::kEnd}));
+}
+
+TEST(Lexer, LineAndColumnTracking) {
+  const auto toks = lex("a\n  bb\n");
+  EXPECT_EQ(toks[0].line, 1);
+  EXPECT_EQ(toks[0].column, 1);
+  EXPECT_EQ(toks[1].line, 2);
+  EXPECT_EQ(toks[1].column, 3);
+}
+
+TEST(Lexer, UnknownCharacterReportsPosition) {
+  try {
+    lex("a = b @ c;");
+    FAIL() << "expected LexError";
+  } catch (const LexError& e) {
+    EXPECT_EQ(e.line(), 1);
+    EXPECT_EQ(e.column(), 7);
+  }
+}
+
+TEST(Lexer, NoSpacesNeeded) {
+  EXPECT_EQ(kinds("a=b&&!c;"),
+            (std::vector<TokenKind>{TokenKind::kIdent, TokenKind::kAssign,
+                                    TokenKind::kIdent, TokenKind::kAndAnd,
+                                    TokenKind::kBang, TokenKind::kIdent,
+                                    TokenKind::kSemicolon, TokenKind::kEnd}));
+}
+
+}  // namespace
+}  // namespace eblocks::behavior

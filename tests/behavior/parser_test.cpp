@@ -1,0 +1,138 @@
+#include "behavior/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "behavior/printer.h"
+
+namespace eblocks::behavior {
+namespace {
+
+TEST(Parser, EmptyProgram) {
+  EXPECT_TRUE(parse("").statements.empty());
+}
+
+TEST(Parser, VarDecl) {
+  const Program p = parse("var q = 3;");
+  ASSERT_EQ(p.statements.size(), 1u);
+  EXPECT_EQ(p.statements[0]->kind, StmtKind::kVarDecl);
+  EXPECT_EQ(p.statements[0]->name, "q");
+  EXPECT_EQ(p.statements[0]->expr->intValue, 3);
+}
+
+TEST(Parser, Assignment) {
+  const Program p = parse("out = a;");
+  ASSERT_EQ(p.statements.size(), 1u);
+  EXPECT_EQ(p.statements[0]->kind, StmtKind::kAssign);
+  EXPECT_EQ(p.statements[0]->name, "out");
+  EXPECT_EQ(p.statements[0]->expr->kind, ExprKind::kVarRef);
+}
+
+TEST(Parser, IfElse) {
+  const Program p = parse("if (a) { x = 1; } else { x = 0; }");
+  ASSERT_EQ(p.statements.size(), 1u);
+  const Stmt& s = *p.statements[0];
+  EXPECT_EQ(s.kind, StmtKind::kIf);
+  EXPECT_EQ(s.thenBody.size(), 1u);
+  EXPECT_EQ(s.elseBody.size(), 1u);
+}
+
+TEST(Parser, ElseIfChain) {
+  const Program p =
+      parse("if (a) { x = 1; } else if (b) { x = 2; } else { x = 3; }");
+  const Stmt& s = *p.statements[0];
+  ASSERT_EQ(s.elseBody.size(), 1u);
+  EXPECT_EQ(s.elseBody[0]->kind, StmtKind::kIf);
+  EXPECT_EQ(s.elseBody[0]->elseBody.size(), 1u);
+}
+
+TEST(Parser, PrecedenceMulOverAdd) {
+  const ExprPtr e = parseExpression("1 + 2 * 3");
+  EXPECT_EQ(e->bop, BinaryOp::kAdd);
+  EXPECT_EQ(e->rhs->bop, BinaryOp::kMul);
+}
+
+TEST(Parser, PrecedenceComparisonOverLogic) {
+  const ExprPtr e = parseExpression("a < 2 && b >= 3");
+  EXPECT_EQ(e->bop, BinaryOp::kAnd);
+  EXPECT_EQ(e->lhs->bop, BinaryOp::kLt);
+  EXPECT_EQ(e->rhs->bop, BinaryOp::kGe);
+}
+
+TEST(Parser, PrecedenceAndOverOr) {
+  const ExprPtr e = parseExpression("a || b && c");
+  EXPECT_EQ(e->bop, BinaryOp::kOr);
+  EXPECT_EQ(e->rhs->bop, BinaryOp::kAnd);
+}
+
+TEST(Parser, ParenthesesOverride) {
+  const ExprPtr e = parseExpression("(1 + 2) * 3");
+  EXPECT_EQ(e->bop, BinaryOp::kMul);
+  EXPECT_EQ(e->lhs->bop, BinaryOp::kAdd);
+}
+
+TEST(Parser, UnaryChains) {
+  const ExprPtr e = parseExpression("!!a");
+  EXPECT_EQ(e->kind, ExprKind::kUnary);
+  EXPECT_EQ(e->lhs->kind, ExprKind::kUnary);
+  EXPECT_EQ(e->lhs->lhs->name, "a");
+}
+
+TEST(Parser, NegativeLiteralIsUnaryMinus) {
+  const ExprPtr e = parseExpression("-5");
+  EXPECT_EQ(e->kind, ExprKind::kUnary);
+  EXPECT_EQ(e->uop, UnaryOp::kNeg);
+}
+
+TEST(Parser, TrueFalseAreLiterals) {
+  EXPECT_EQ(parseExpression("true")->intValue, 1);
+  EXPECT_EQ(parseExpression("false")->intValue, 0);
+}
+
+TEST(Parser, LeftAssociativity) {
+  const ExprPtr e = parseExpression("1 - 2 - 3");  // (1-2)-3
+  EXPECT_EQ(e->bop, BinaryOp::kSub);
+  EXPECT_EQ(e->lhs->bop, BinaryOp::kSub);
+  EXPECT_EQ(e->rhs->intValue, 3);
+}
+
+TEST(Parser, MissingSemicolonFails) {
+  EXPECT_THROW(parse("a = 1"), ParseError);
+}
+
+TEST(Parser, UnterminatedBlockFails) {
+  EXPECT_THROW(parse("if (a) { x = 1;"), ParseError);
+}
+
+TEST(Parser, NestedVarDeclRejected) {
+  EXPECT_THROW(parse("if (a) { var q = 1; }"), ParseError);
+}
+
+TEST(Parser, GarbageExpressionFails) {
+  EXPECT_THROW(parse("x = * 2;"), ParseError);
+  EXPECT_THROW(parse("x = ;"), ParseError);
+}
+
+TEST(Parser, ErrorCarriesPosition) {
+  try {
+    parse("x = 1;\ny = ;\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 2);
+  }
+}
+
+TEST(Parser, RoundTripThroughPrinter) {
+  const char* src =
+      "var q = 0;\n"
+      "var prev = 0;\n"
+      "if (a == 1 && prev == 0) { q = !q; }\n"
+      "prev = a;\n"
+      "out = q;\n";
+  const Program p1 = parse(src);
+  const std::string printed = toSource(p1);
+  const Program p2 = parse(printed);
+  EXPECT_EQ(printed, toSource(p2));  // printer is a fixed point
+}
+
+}  // namespace
+}  // namespace eblocks::behavior

@@ -1,0 +1,54 @@
+#include "behavior/printer.h"
+
+#include <gtest/gtest.h>
+
+#include "behavior/parser.h"
+
+namespace eblocks::behavior {
+namespace {
+
+std::string roundTrip(const std::string& src) {
+  return toSource(parse(src));
+}
+
+TEST(Printer, SimpleStatements) {
+  EXPECT_EQ(roundTrip("x=1;"), "x = 1;\n");
+  EXPECT_EQ(roundTrip("var q=0;"), "var q = 0;\n");
+}
+
+TEST(Printer, ExpressionParenthesization) {
+  // Compound subexpressions are parenthesized; atoms are bare.
+  EXPECT_EQ(roundTrip("x = 1 + 2 * 3;"), "x = 1 + (2 * 3);\n");
+  EXPECT_EQ(roundTrip("x = (1 + 2) * 3;"), "x = (1 + 2) * 3;\n");
+  EXPECT_EQ(roundTrip("x = !a;"), "x = !a;\n");
+  EXPECT_EQ(roundTrip("x = !(a && b);"), "x = !(a && b);\n");
+}
+
+TEST(Printer, IfElseLayout) {
+  EXPECT_EQ(roundTrip("if(a){x=1;}else{x=0;}"),
+            "if (a) {\n  x = 1;\n} else {\n  x = 0;\n}\n");
+}
+
+TEST(Printer, NestedIndentation) {
+  EXPECT_EQ(roundTrip("if(a){if(b){x=1;}}"),
+            "if (a) {\n  if (b) {\n    x = 1;\n  }\n}\n");
+}
+
+TEST(Printer, PreservesSemantics) {
+  // Printing then reparsing yields an identical print (fixed point).
+  const char* src =
+      "var count = 0;\n"
+      "if (a == 1 && prev == 0) { count = 5; }\n"
+      "if (tick == 1 && count > 0) { count = count - 1; }\n"
+      "if (count > 0) { out = 1; } else { out = 0; }\n";
+  const std::string once = roundTrip(src);
+  EXPECT_EQ(once, roundTrip(once));
+}
+
+TEST(Printer, UnaryMinusOfAtomAndCompound) {
+  EXPECT_EQ(roundTrip("x = -a;"), "x = -a;\n");
+  EXPECT_EQ(roundTrip("x = -(a + 1);"), "x = -(a + 1);\n");
+}
+
+}  // namespace
+}  // namespace eblocks::behavior

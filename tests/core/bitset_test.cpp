@@ -1,0 +1,114 @@
+#include "core/bitset.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+
+namespace eblocks {
+namespace {
+
+TEST(BitSet, StartsEmpty) {
+  BitSet s(100);
+  EXPECT_EQ(s.size(), 100u);
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_TRUE(s.none());
+  EXPECT_FALSE(s.any());
+  EXPECT_EQ(s.findFirst(), 100u);
+}
+
+TEST(BitSet, SetResetTest) {
+  BitSet s(70);
+  s.set(0);
+  s.set(63);
+  s.set(64);
+  s.set(69);
+  EXPECT_TRUE(s.test(0));
+  EXPECT_TRUE(s.test(63));
+  EXPECT_TRUE(s.test(64));
+  EXPECT_TRUE(s.test(69));
+  EXPECT_FALSE(s.test(1));
+  EXPECT_EQ(s.count(), 4u);
+  s.reset(63);
+  EXPECT_FALSE(s.test(63));
+  EXPECT_EQ(s.count(), 3u);
+}
+
+TEST(BitSet, FindFirstCrossesWords) {
+  BitSet s(200);
+  s.set(130);
+  EXPECT_EQ(s.findFirst(), 130u);
+  s.set(64);
+  EXPECT_EQ(s.findFirst(), 64u);
+  s.set(3);
+  EXPECT_EQ(s.findFirst(), 3u);
+}
+
+TEST(BitSet, UnionIntersectionDifference) {
+  BitSet a(128), b(128);
+  a.set(1);
+  a.set(100);
+  b.set(100);
+  b.set(127);
+  BitSet u = a;
+  u |= b;
+  EXPECT_EQ(u.toVector(), (std::vector<std::uint32_t>{1, 100, 127}));
+  BitSet i = a;
+  i &= b;
+  EXPECT_EQ(i.toVector(), (std::vector<std::uint32_t>{100}));
+  BitSet d = a;
+  d.andNot(b);
+  EXPECT_EQ(d.toVector(), (std::vector<std::uint32_t>{1}));
+}
+
+TEST(BitSet, EqualityIncludesUniverseSize) {
+  BitSet a(10), b(10), c(11);
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+  a.set(3);
+  EXPECT_FALSE(a == b);
+  b.set(3);
+  EXPECT_EQ(a, b);
+}
+
+TEST(BitSet, ClearRemovesEverything) {
+  BitSet s(66);
+  s.set(2);
+  s.set(65);
+  s.clear();
+  EXPECT_TRUE(s.none());
+  EXPECT_EQ(s.size(), 66u);
+}
+
+TEST(BitSet, ForEachVisitsAscending) {
+  BitSet s(300);
+  const std::vector<std::uint32_t> want = {0, 5, 64, 128, 255, 299};
+  for (auto v : want) s.set(v);
+  std::vector<std::uint32_t> got;
+  s.forEach([&](std::size_t i) { got.push_back(static_cast<std::uint32_t>(i)); });
+  EXPECT_EQ(got, want);
+}
+
+TEST(BitSet, RandomizedAgainstStdSet) {
+  std::mt19937 rng(42);
+  const std::size_t n = 257;
+  BitSet s(n);
+  std::set<std::size_t> ref;
+  for (int step = 0; step < 2000; ++step) {
+    const std::size_t i = rng() % n;
+    if (rng() & 1) {
+      s.set(i);
+      ref.insert(i);
+    } else {
+      s.reset(i);
+      ref.erase(i);
+    }
+    ASSERT_EQ(s.count(), ref.size());
+    ASSERT_EQ(s.findFirst(), ref.empty() ? n : *ref.begin());
+  }
+  std::vector<std::uint32_t> want(ref.begin(), ref.end());
+  EXPECT_EQ(s.toVector(), want);
+}
+
+}  // namespace
+}  // namespace eblocks

@@ -1,0 +1,79 @@
+#include "core/levels.h"
+
+#include <gtest/gtest.h>
+
+#include "blocks/catalog.h"
+#include "designs/library.h"
+
+namespace eblocks {
+namespace {
+
+using blocks::defaultCatalog;
+
+TEST(Levels, ChainLevelsIncrease) {
+  const auto& cat = defaultCatalog();
+  Network net;
+  const BlockId s = net.addBlock("s", cat.button());
+  const BlockId a = net.addBlock("a", cat.inverter());
+  const BlockId b = net.addBlock("b", cat.buffer());
+  const BlockId o = net.addBlock("o", cat.led());
+  net.connect(s, 0, a, 0);
+  net.connect(a, 0, b, 0);
+  net.connect(b, 0, o, 0);
+  const auto lv = computeLevels(net);
+  EXPECT_EQ(lv[s], 0);
+  EXPECT_EQ(lv[a], 1);
+  EXPECT_EQ(lv[b], 2);
+  EXPECT_EQ(lv[o], 3);
+}
+
+TEST(Levels, ReconvergenceKeepsGreatestLevel) {
+  // s -> a -> g and s -> g: g must take the longer path's level.
+  const auto& cat = defaultCatalog();
+  Network net;
+  const BlockId s = net.addBlock("s", cat.button());
+  const BlockId a = net.addBlock("a", cat.inverter());
+  const BlockId g = net.addBlock("g", cat.and2());
+  const BlockId o = net.addBlock("o", cat.led());
+  net.connect(s, 0, a, 0);
+  net.connect(s, 0, g, 0);
+  net.connect(a, 0, g, 1);
+  net.connect(g, 0, o, 0);
+  const auto lv = computeLevels(net);
+  EXPECT_EQ(lv[g], 2);  // via a, not the direct sensor edge
+}
+
+TEST(Levels, Figure5Levels) {
+  // Paper node k = id k-1.  Longest paths from the sensor:
+  //   2:1, 4:2, 3:3, 7:4, 5:2, 6:3, 8:5, 9:4.
+  const Network net = designs::figure5();
+  const auto lv = computeLevels(net);
+  EXPECT_EQ(lv[0], 0);   // sensor (node 1)
+  EXPECT_EQ(lv[1], 1);   // node 2
+  EXPECT_EQ(lv[2], 3);   // node 3
+  EXPECT_EQ(lv[3], 2);   // node 4
+  EXPECT_EQ(lv[4], 2);   // node 5
+  EXPECT_EQ(lv[5], 3);   // node 6
+  EXPECT_EQ(lv[6], 4);   // node 7
+  EXPECT_EQ(lv[7], 5);   // node 8
+  EXPECT_EQ(lv[8], 4);   // node 9
+}
+
+TEST(Levels, MultipleSensorsAllLevelZero) {
+  const auto& cat = defaultCatalog();
+  Network net;
+  const BlockId s1 = net.addBlock("s1", cat.button());
+  const BlockId s2 = net.addBlock("s2", cat.button());
+  const BlockId g = net.addBlock("g", cat.or2());
+  const BlockId o = net.addBlock("o", cat.led());
+  net.connect(s1, 0, g, 0);
+  net.connect(s2, 0, g, 1);
+  net.connect(g, 0, o, 0);
+  const auto lv = computeLevels(net);
+  EXPECT_EQ(lv[s1], 0);
+  EXPECT_EQ(lv[s2], 0);
+  EXPECT_EQ(lv[g], 1);
+}
+
+}  // namespace
+}  // namespace eblocks

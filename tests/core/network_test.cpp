@@ -1,0 +1,172 @@
+#include "core/network.h"
+
+#include <gtest/gtest.h>
+
+#include "blocks/catalog.h"
+
+namespace eblocks {
+namespace {
+
+using blocks::defaultCatalog;
+
+Network chain3() {
+  const auto& cat = defaultCatalog();
+  Network net("chain");
+  const BlockId s = net.addBlock("s", cat.button());
+  const BlockId a = net.addBlock("a", cat.inverter());
+  const BlockId b = net.addBlock("b", cat.buffer());
+  const BlockId o = net.addBlock("o", cat.led());
+  net.connect(s, 0, a, 0);
+  net.connect(a, 0, b, 0);
+  net.connect(b, 0, o, 0);
+  return net;
+}
+
+TEST(Network, AddBlockAssignsDenseIds) {
+  Network net;
+  const auto& cat = defaultCatalog();
+  EXPECT_EQ(net.addBlock("x", cat.button()), 0u);
+  EXPECT_EQ(net.addBlock("y", cat.led()), 1u);
+  EXPECT_EQ(net.blockCount(), 2u);
+  EXPECT_EQ(net.block(0).name, "x");
+}
+
+TEST(Network, EmptyNameGetsGenerated) {
+  Network net;
+  const BlockId b = net.addBlock("", defaultCatalog().button());
+  EXPECT_EQ(net.block(b).name, "button_0");
+}
+
+TEST(Network, DuplicateNameRejected) {
+  Network net;
+  net.addBlock("x", defaultCatalog().button());
+  EXPECT_THROW(net.addBlock("x", defaultCatalog().led()),
+               std::invalid_argument);
+}
+
+TEST(Network, NullTypeRejected) {
+  Network net;
+  EXPECT_THROW(net.addBlock("x", nullptr), std::invalid_argument);
+}
+
+TEST(Network, ConnectValidatesPorts) {
+  Network net;
+  const auto& cat = defaultCatalog();
+  const BlockId s = net.addBlock("s", cat.button());
+  const BlockId g = net.addBlock("g", cat.and2());
+  EXPECT_NO_THROW(net.connect(s, 0, g, 0));
+  EXPECT_THROW(net.connect(s, 1, g, 1), std::invalid_argument);  // no out 1
+  EXPECT_THROW(net.connect(s, 0, g, 2), std::invalid_argument);  // no in 2
+  EXPECT_THROW(net.connect(s, 0, g, 0), std::invalid_argument);  // re-driven
+}
+
+TEST(Network, ConnectIntoSensorRejected) {
+  Network net;
+  const auto& cat = defaultCatalog();
+  const BlockId s1 = net.addBlock("s1", cat.button());
+  const BlockId s2 = net.addBlock("s2", cat.button());
+  // Sensors have no input ports, so any port index is out of range.
+  EXPECT_THROW(net.connect(s1, 0, s2, 0), std::invalid_argument);
+}
+
+TEST(Network, SelfLoopRejected) {
+  Network net;
+  const BlockId g = net.addBlock("g", defaultCatalog().and2());
+  EXPECT_THROW(net.connect(g, 0, g, 1), std::invalid_argument);
+}
+
+TEST(Network, DriverAndFanout) {
+  Network net = chain3();
+  const BlockId a = *net.findBlock("a");
+  const BlockId b = *net.findBlock("b");
+  const auto drv = net.driverOf(b, 0);
+  ASSERT_TRUE(drv.has_value());
+  EXPECT_EQ(drv->from.block, a);
+  const auto fan = net.fanoutOf(a, 0);
+  ASSERT_EQ(fan.size(), 1u);
+  EXPECT_EQ(fan[0].to.block, b);
+  EXPECT_FALSE(net.driverOf(a, 0)->from.block == b);
+}
+
+TEST(Network, Classification) {
+  Network net = chain3();
+  EXPECT_TRUE(net.isSensor(*net.findBlock("s")));
+  EXPECT_TRUE(net.isOutput(*net.findBlock("o")));
+  EXPECT_TRUE(net.isInner(*net.findBlock("a")));
+  EXPECT_FALSE(net.isInner(*net.findBlock("s")));
+  EXPECT_EQ(net.innerBlocks().size(), 2u);
+  EXPECT_EQ(net.innerSet().count(), 2u);
+}
+
+TEST(Network, CommunicationBlocksAreNotInner) {
+  Network net;
+  const auto& cat = defaultCatalog();
+  const BlockId s = net.addBlock("s", cat.button());
+  const BlockId rf = net.addBlock("rf", cat.rfLink());
+  const BlockId o = net.addBlock("o", cat.led());
+  net.connect(s, 0, rf, 0);
+  net.connect(rf, 0, o, 0);
+  EXPECT_FALSE(net.isInner(rf));
+  EXPECT_TRUE(net.innerBlocks().empty());
+}
+
+TEST(Network, ProgrammableBlocksAreNotInner) {
+  Network net;
+  const BlockId p = net.addBlock("p", defaultCatalog().programmable(2, 2));
+  EXPECT_FALSE(net.isInner(p));
+}
+
+TEST(Network, TopoOrderRespectsEdges) {
+  Network net = chain3();
+  const auto order = net.topoOrder();
+  ASSERT_EQ(order.size(), 4u);
+  std::vector<std::size_t> pos(order.size());
+  for (std::size_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
+  for (const Connection& c : net.connections())
+    EXPECT_LT(pos[c.from.block], pos[c.to.block]);
+}
+
+TEST(Network, IndegreeOutdegree) {
+  Network net = chain3();
+  const BlockId a = *net.findBlock("a");
+  EXPECT_EQ(net.indegree(a), 1);
+  EXPECT_EQ(net.outdegree(a), 1);
+  EXPECT_EQ(net.indegree(*net.findBlock("s")), 0);
+}
+
+TEST(Network, ValidateCleanNetwork) {
+  EXPECT_TRUE(chain3().validate().empty());
+}
+
+TEST(Network, ValidateFindsUnconnectedInput) {
+  Network net;
+  const auto& cat = defaultCatalog();
+  const BlockId s = net.addBlock("s", cat.button());
+  const BlockId g = net.addBlock("g", cat.and2());
+  const BlockId o = net.addBlock("o", cat.led());
+  net.connect(s, 0, g, 0);
+  net.connect(g, 0, o, 0);
+  const auto problems = net.validate();
+  ASSERT_EQ(problems.size(), 1u);
+  EXPECT_NE(problems[0].find("'b' of 'g'"), std::string::npos);
+}
+
+TEST(Network, ValidateFindsDanglingBlock) {
+  Network net;
+  const auto& cat = defaultCatalog();
+  const BlockId s = net.addBlock("s", cat.button());
+  const BlockId inv = net.addBlock("inv", cat.inverter());
+  net.connect(s, 0, inv, 0);
+  const auto problems = net.validate();
+  ASSERT_EQ(problems.size(), 1u);
+  EXPECT_NE(problems[0].find("drives nothing"), std::string::npos);
+}
+
+TEST(Network, FindBlock) {
+  Network net = chain3();
+  EXPECT_TRUE(net.findBlock("a").has_value());
+  EXPECT_FALSE(net.findBlock("nope").has_value());
+}
+
+}  // namespace
+}  // namespace eblocks

@@ -1,0 +1,163 @@
+#include "core/subgraph.h"
+
+#include <gtest/gtest.h>
+
+#include "blocks/catalog.h"
+#include "designs/library.h"
+
+namespace eblocks {
+namespace {
+
+using blocks::defaultCatalog;
+
+BitSet setOf(const Network& net, std::initializer_list<BlockId> ids) {
+  BitSet s = net.emptySet();
+  for (BlockId b : ids) s.set(b);
+  return s;
+}
+
+// Figure-5 ids: paper node k = id k-1.
+constexpr BlockId N(int paperNode) { return static_cast<BlockId>(paperNode - 1); }
+
+class SubgraphFigure5 : public ::testing::Test {
+ protected:
+  Network net = designs::figure5();
+};
+
+TEST_F(SubgraphFigure5, CountIoEdgesFullInnerSet) {
+  const BitSet all = net.innerSet();
+  const IoCount io = countIo(net, all, CountingMode::kEdges);
+  EXPECT_EQ(io.inputs, 2);   // 1->2, 1->5
+  EXPECT_EQ(io.outputs, 3);  // 7->10, 8->11, 9->12 ("three outputs")
+}
+
+TEST_F(SubgraphFigure5, CountIoEdgesPartition2345) {
+  const BitSet p = setOf(net, {N(2), N(3), N(4), N(5)});
+  const IoCount io = countIo(net, p, CountingMode::kEdges);
+  EXPECT_EQ(io.inputs, 2);   // 1->2, 1->5
+  EXPECT_EQ(io.outputs, 2);  // 3->7, 5->6
+}
+
+TEST_F(SubgraphFigure5, CountIoSignalsSharesFanout) {
+  // Node 1 drives nodes 2 and 5: two edges but one signal.
+  const BitSet all = net.innerSet();
+  const IoCount io = countIo(net, all, CountingMode::kSignals);
+  EXPECT_EQ(io.inputs, 1);
+  EXPECT_EQ(io.outputs, 3);
+}
+
+TEST_F(SubgraphFigure5, CountIoSignalsInternalFanoutStillCounts) {
+  // {6}: node 6 drives 8 and 9 (both outside) from one port -> 1 signal out,
+  // but 2 edges.
+  const BitSet p = setOf(net, {N(6)});
+  EXPECT_EQ(countIo(net, p, CountingMode::kSignals).outputs, 1);
+  EXPECT_EQ(countIo(net, p, CountingMode::kEdges).outputs, 2);
+}
+
+TEST_F(SubgraphFigure5, BorderBlocksOfFullInnerSet) {
+  const BitSet all = net.innerSet();
+  EXPECT_EQ(borderBlocks(net, all),
+            (std::vector<BlockId>{N(2), N(8), N(9)}));
+}
+
+TEST_F(SubgraphFigure5, BorderAfterRemoving9) {
+  BitSet p = net.innerSet();
+  p.reset(N(9));
+  EXPECT_EQ(borderBlocks(net, p), (std::vector<BlockId>{N(2), N(8)}));
+}
+
+TEST_F(SubgraphFigure5, RanksMatchFigure5a) {
+  const BitSet all = net.innerSet();
+  EXPECT_EQ(removalRank(net, all, N(2)), 1);
+  EXPECT_EQ(removalRank(net, all, N(8)), 1);
+  EXPECT_EQ(removalRank(net, all, N(9)), 0);
+}
+
+TEST_F(SubgraphFigure5, RanksMatchFigure5c) {
+  BitSet p = net.innerSet();
+  p.reset(N(9));
+  p.reset(N(8));
+  EXPECT_EQ(removalRank(net, p, N(6)), -1);
+  EXPECT_EQ(removalRank(net, p, N(7)), -1);
+}
+
+TEST_F(SubgraphFigure5, ConvexSets) {
+  EXPECT_TRUE(isConvex(net, net.innerSet()));
+  EXPECT_TRUE(isConvex(net, setOf(net, {N(2), N(3), N(4), N(5)})));
+  EXPECT_TRUE(isConvex(net, setOf(net, {N(6), N(8), N(9)})));
+  // {2,3} is not convex: 2 -> 4 -> 3 runs through node 4.
+  EXPECT_FALSE(isConvex(net, setOf(net, {N(2), N(3)})));
+  // {6,8} is convex even though 7 also feeds 8 (no path 6..7..8 exits and
+  // re-enters from inside the set).
+  EXPECT_TRUE(isConvex(net, setOf(net, {N(6), N(8)})));
+}
+
+TEST(Subgraph, BorderDefinitionBothDirections) {
+  // a -> b -> c; {b}: both neighbors outside; a: inputs vacuously outside.
+  const auto& cat = defaultCatalog();
+  Network net;
+  const BlockId s = net.addBlock("s", cat.button());
+  const BlockId a = net.addBlock("a", cat.inverter());
+  const BlockId b = net.addBlock("b", cat.inverter());
+  const BlockId c = net.addBlock("c", cat.inverter());
+  const BlockId o = net.addBlock("o", cat.led());
+  net.connect(s, 0, a, 0);
+  net.connect(a, 0, b, 0);
+  net.connect(b, 0, c, 0);
+  net.connect(c, 0, o, 0);
+  BitSet abc = net.emptySet();
+  abc.set(a);
+  abc.set(b);
+  abc.set(c);
+  // a: every input (from s) outside -> border.  c: every output outside ->
+  // border.  b: both sides inside -> not border.
+  EXPECT_TRUE(isBorderBlock(net, abc, a));
+  EXPECT_FALSE(isBorderBlock(net, abc, b));
+  EXPECT_TRUE(isBorderBlock(net, abc, c));
+}
+
+TEST(Subgraph, RankIsCutDelta) {
+  // Removing a block with x outside edges and y inside edges changes the
+  // partition cut by y - x.  Verify directly against countIo.
+  const Network net = designs::figure5();
+  BitSet p = net.innerSet();
+  const IoCount before = countIo(net, p, CountingMode::kEdges);
+  const int rank = removalRank(net, p, N(9));
+  BitSet after = p;
+  after.reset(N(9));
+  const IoCount ioAfter = countIo(net, after, CountingMode::kEdges);
+  EXPECT_EQ((ioAfter.inputs + ioAfter.outputs) -
+                (before.inputs + before.outputs),
+            rank);
+}
+
+TEST(Subgraph, NonConvexThroughOutsideBlock) {
+  // a -> x -> b plus a -> b would make {a, b} convex only if x were inside.
+  const auto& cat = defaultCatalog();
+  Network net;
+  const BlockId s = net.addBlock("s", cat.button());
+  const BlockId a = net.addBlock("a", cat.splitter(2));
+  const BlockId x = net.addBlock("x", cat.inverter());
+  const BlockId b = net.addBlock("b", cat.and2());
+  const BlockId o = net.addBlock("o", cat.led());
+  net.connect(s, 0, a, 0);
+  net.connect(a, 0, x, 0);
+  net.connect(a, 1, b, 0);
+  net.connect(x, 0, b, 1);
+  net.connect(b, 0, o, 0);
+  BitSet ab = net.emptySet();
+  ab.set(a);
+  ab.set(b);
+  EXPECT_FALSE(isConvex(net, ab));
+  BitSet axb = ab;
+  axb.set(x);
+  EXPECT_TRUE(isConvex(net, axb));
+}
+
+TEST(Subgraph, CountingModeToString) {
+  EXPECT_STREQ(toString(CountingMode::kEdges), "edges");
+  EXPECT_STREQ(toString(CountingMode::kSignals), "signals");
+}
+
+}  // namespace
+}  // namespace eblocks

@@ -1,0 +1,93 @@
+// Full-pipeline integration tests: capture -> partition -> codegen ->
+// synthesized network -> simulation, across algorithms and counting modes.
+#include <gtest/gtest.h>
+
+#include "designs/library.h"
+#include "io/dot.h"
+#include "io/netlist.h"
+#include "randgen/generator.h"
+#include "sim/equivalence.h"
+#include "synth/synthesizer.h"
+
+namespace eblocks {
+namespace {
+
+TEST(EndToEnd, NetlistToSynthesizedSimulation) {
+  // A user could ship a netlist file; load it, synthesize, simulate.
+  const std::string netlist =
+      "network press counter\n"
+      "block press button\n"
+      "block tog1 toggle\n"
+      "block tog2 toggle\n"
+      "block lamp led\n"
+      "connect press.0 tog1.0\n"
+      "connect tog1.0 tog2.0\n"
+      "connect tog2.0 lamp.0\n";
+  const Network original = io::readNetlist(netlist);
+  const synth::SynthResult r = synth::synthesize(original);
+  EXPECT_EQ(r.innerAfter, 1);
+
+  sim::Simulator simulator(r.network);
+  auto press = [&] {
+    simulator.apply("press", 1);
+    simulator.apply("press", 0);
+    return simulator.outputValue("lamp");
+  };
+  EXPECT_EQ(press(), 1);
+  EXPECT_EQ(press(), 1);
+  EXPECT_EQ(press(), 0);
+  EXPECT_EQ(press(), 0);
+}
+
+TEST(EndToEnd, ChainedSynthesisIsIdempotent) {
+  // Synthesizing an already-synthesized network finds nothing new: the
+  // programmable blocks are not inner blocks.
+  const synth::SynthResult first = synth::synthesize(designs::figure5());
+  const synth::SynthResult second = synth::synthesize(first.network);
+  EXPECT_EQ(second.programmableBlocks, 0);
+  EXPECT_EQ(second.network.blockCount(), first.network.blockCount());
+}
+
+TEST(EndToEnd, DotExportOfSynthesizedNetworkShowsProgBlocks) {
+  const synth::SynthResult r = synth::synthesize(designs::figure5());
+  const std::string dot = io::toDot(r.network);
+  EXPECT_NE(dot.find("peripheries=2"), std::string::npos);  // programmable
+}
+
+TEST(EndToEnd, AllAlgorithmsProduceEquivalentNetworks) {
+  const Network original = randgen::randomNetwork({.innerBlocks = 12,
+                                                   .seed = 2024});
+  for (const auto algorithm :
+       {synth::Algorithm::kPareDown, synth::Algorithm::kExhaustive,
+        synth::Algorithm::kAggregation}) {
+    synth::SynthOptions options;
+    options.algorithm = algorithm;
+    options.exhaustiveTimeLimitSeconds = 10;
+    const synth::SynthResult r = synth::synthesize(original, options);
+    const auto mismatch =
+        sim::fuzzEquivalence(original, r.network, 2, 40, 555);
+    EXPECT_FALSE(mismatch.has_value())
+        << toString(algorithm) << ": " << mismatch->describe();
+  }
+}
+
+TEST(EndToEnd, WiderProgrammableBlocksStayCorrect) {
+  // PareDown is a heuristic, so cost monotonicity in the port budget is not
+  // guaranteed; correctness is.  Check equivalence and the trivial bound
+  // for growing port budgets.
+  const Network original = randgen::randomNetwork({.innerBlocks = 15,
+                                                   .seed = 77});
+  for (int ports = 2; ports <= 4; ++ports) {
+    synth::SynthOptions options;
+    options.spec.inputs = ports;
+    options.spec.outputs = ports;
+    const synth::SynthResult r = synth::synthesize(original, options);
+    EXPECT_LE(r.innerAfter, r.originalInner) << ports;
+    const auto mismatch =
+        sim::fuzzEquivalence(original, r.network, 1, 40, 3);
+    EXPECT_FALSE(mismatch.has_value()) << mismatch->describe();
+  }
+}
+
+}  // namespace
+}  // namespace eblocks

@@ -1,0 +1,45 @@
+#include "io/dot.h"
+
+#include <gtest/gtest.h>
+
+#include "designs/library.h"
+#include "partition/paredown.h"
+
+namespace eblocks::io {
+namespace {
+
+TEST(Dot, PlainExportNamesEveryBlock) {
+  const Network net = designs::garageOpenAtNight();
+  const std::string dot = toDot(net);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  for (BlockId b = 0; b < net.blockCount(); ++b)
+    EXPECT_NE(dot.find(net.block(b).name), std::string::npos);
+  // One edge line per connection.
+  std::size_t arrows = 0, pos = 0;
+  while ((pos = dot.find(" -> ", pos)) != std::string::npos) {
+    ++arrows;
+    pos += 4;
+  }
+  EXPECT_EQ(arrows, net.connections().size());
+}
+
+TEST(Dot, ShapesFollowBlockClass) {
+  const Network net = designs::garageOpenAtNight();
+  const std::string dot = toDot(net);
+  EXPECT_NE(dot.find("shape=house"), std::string::npos);     // sensors
+  EXPECT_NE(dot.find("shape=invhouse"), std::string::npos);  // outputs
+  EXPECT_NE(dot.find("shape=box"), std::string::npos);       // compute
+}
+
+TEST(Dot, PartitionsBecomeClusters) {
+  const Network net = designs::figure5();
+  const partition::PartitionProblem problem(net, {});
+  const auto run = partition::pareDown(problem);
+  const std::string dot = toDot(net, run.result.partitions);
+  EXPECT_NE(dot.find("subgraph cluster_p0"), std::string::npos);
+  EXPECT_NE(dot.find("subgraph cluster_p1"), std::string::npos);
+  EXPECT_NE(dot.find("label=\"partition 0\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace eblocks::io

@@ -1,0 +1,143 @@
+#include "io/netlist.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "designs/library.h"
+#include "randgen/generator.h"
+#include "synth/synthesizer.h"
+
+namespace eblocks::io {
+namespace {
+
+TEST(Netlist, RoundTripGarage) {
+  const Network original = designs::garageOpenAtNight();
+  const std::string text = writeNetlist(original);
+  const Network parsed = readNetlist(text);
+  EXPECT_EQ(parsed.name(), original.name());
+  ASSERT_EQ(parsed.blockCount(), original.blockCount());
+  for (BlockId b = 0; b < original.blockCount(); ++b) {
+    EXPECT_EQ(parsed.block(b).name, original.block(b).name);
+    EXPECT_EQ(parsed.block(b).type->name(), original.block(b).type->name());
+  }
+  ASSERT_EQ(parsed.connections().size(), original.connections().size());
+  for (std::size_t i = 0; i < original.connections().size(); ++i)
+    EXPECT_EQ(parsed.connections()[i], original.connections()[i]);
+}
+
+TEST(Netlist, RoundTripWholeLibrary) {
+  for (const auto& e : designs::designLibrary()) {
+    const std::string text = writeNetlist(e.network);
+    const Network parsed = readNetlist(text);
+    EXPECT_EQ(parsed.blockCount(), e.network.blockCount()) << e.name;
+    EXPECT_EQ(parsed.connections().size(), e.network.connections().size())
+        << e.name;
+    EXPECT_EQ(writeNetlist(parsed), text) << e.name;
+  }
+}
+
+TEST(Netlist, ParameterizedTypesRoundTrip) {
+  const std::string text =
+      "network param test\n"
+      "block s button\n"
+      "block d delay_7\n"
+      "block o led\n"
+      "connect s.0 d.0\n"
+      "connect d.0 o.0\n";
+  const Network net = readNetlist(text);
+  EXPECT_EQ(net.block(1).type->name(), "delay_7");
+  EXPECT_EQ(net.name(), "param test");
+}
+
+TEST(Netlist, CommentsAndBlankLinesIgnored) {
+  const std::string text =
+      "# header comment\n"
+      "network x\n"
+      "\n"
+      "block s button   # trailing comment\n"
+      "block o led\n"
+      "connect s.0 o.0\n";
+  EXPECT_EQ(readNetlist(text).blockCount(), 2u);
+}
+
+TEST(Netlist, ErrorsCarryLineNumbers) {
+  const auto expectError = [](const std::string& text,
+                              const std::string& needle) {
+    try {
+      readNetlist(text);
+      FAIL() << "expected NetlistError for: " << text;
+    } catch (const NetlistError& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << e.what();
+    }
+  };
+  expectError("network x\nblock s warp_core\n", "line 2");
+  expectError("network x\nblock s button\nconnect s.0 ghost.0\n", "line 3");
+  expectError("frobnicate\n", "unknown keyword");
+  expectError("network x\nblock s button\nconnect s0 o.0\n",
+              "expected <block>.<port>");
+  expectError("network x\nnetwork y\n", "once");
+}
+
+TEST(Netlist, SynthesizedBlocksRefuseSerialization) {
+  const auto r = synth::synthesize(designs::garageOpenAtNight());
+  EXPECT_THROW(writeNetlist(r.network), NetlistError);
+}
+
+TEST(Netlist, ConnectionErrorsPropagateWithContext) {
+  const std::string doubleDriven =
+      "network x\n"
+      "block s1 button\n"
+      "block s2 button\n"
+      "block o led\n"
+      "connect s1.0 o.0\n"
+      "connect s2.0 o.0\n";
+  try {
+    readNetlist(doubleDriven);
+    FAIL() << "expected NetlistError";
+  } catch (const NetlistError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 6"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("already driven"),
+              std::string::npos);
+  }
+}
+
+TEST(Netlist, FuzzedGarbageNeverCrashes) {
+  // Random byte soup and random token recombinations must either parse or
+  // throw NetlistError -- never crash or corrupt memory.
+  std::mt19937 rng(0xF422);
+  const char* vocab[] = {"network", "block",  "connect", "button", "led",
+                         "and2",    "s.0",    "o.0",     "x",      "#",
+                         ".",       "0",      "-1",      "delay_",  "\t"};
+  for (int round = 0; round < 300; ++round) {
+    std::string text;
+    const int lines = static_cast<int>(rng() % 8);
+    for (int l = 0; l < lines; ++l) {
+      const int tokens = static_cast<int>(rng() % 5);
+      for (int t = 0; t < tokens; ++t) {
+        text += vocab[rng() % std::size(vocab)];
+        text += ' ';
+      }
+      text += '\n';
+    }
+    try {
+      (void)readNetlist(text);
+    } catch (const NetlistError&) {
+      // expected for malformed input
+    }
+  }
+}
+
+TEST(Netlist, RandomNetworksRoundTrip) {
+  for (std::uint32_t seed = 1; seed <= 10; ++seed) {
+    const Network net = randgen::randomNetwork({.innerBlocks = 15,
+                                                .seed = seed});
+    const std::string text = writeNetlist(net);
+    const Network parsed = readNetlist(text);
+    EXPECT_EQ(writeNetlist(parsed), text) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace eblocks::io

@@ -1,0 +1,57 @@
+#include "io/vcd.h"
+
+#include <gtest/gtest.h>
+
+#include "designs/library.h"
+
+namespace eblocks::io {
+namespace {
+
+TEST(Vcd, StructureAndHeader) {
+  const Network net = designs::garageOpenAtNight();
+  sim::Simulator simulator(net);
+  simulator.apply("garage_door", 1);
+  const std::string vcd = toVcd(simulator);
+  EXPECT_NE(vcd.find("$timescale"), std::string::npos);
+  EXPECT_NE(vcd.find("$var wire 1 ! bedroom_led $end"), std::string::npos);
+  EXPECT_NE(vcd.find("$enddefinitions $end"), std::string::npos);
+  EXPECT_NE(vcd.find("$dumpvars"), std::string::npos);
+  EXPECT_NE(vcd.find("0!"), std::string::npos);  // initial value
+}
+
+TEST(Vcd, RecordsChangesWithTimestamps) {
+  const Network net = designs::garageOpenAtNight();
+  sim::Simulator simulator(net);
+  simulator.apply("garage_door", 1);  // led rises
+  simulator.apply("garage_door", 0);  // led falls
+  const std::string vcd = toVcd(simulator);
+  const std::size_t rise = vcd.find("1!");
+  const std::size_t fall = vcd.rfind("0!");
+  ASSERT_NE(rise, std::string::npos);
+  ASSERT_NE(fall, std::string::npos);
+  EXPECT_LT(rise, fall);
+  // Each change is preceded by a #time line.
+  const std::size_t hash = vcd.rfind('#', rise);
+  ASSERT_NE(hash, std::string::npos);
+  EXPECT_GT(std::stoull(vcd.substr(hash + 1)), 0u);
+}
+
+TEST(Vcd, MultipleOutputsGetDistinctIds) {
+  const Network net = designs::figure5();
+  sim::Simulator simulator(net);
+  const std::string vcd = toVcd(simulator);
+  EXPECT_NE(vcd.find("$var wire 1 ! green_led $end"), std::string::npos);
+  EXPECT_NE(vcd.find("$var wire 1 \" yellow_led $end"), std::string::npos);
+  EXPECT_NE(vcd.find("$var wire 1 # red_led $end"), std::string::npos);
+}
+
+TEST(Vcd, QuietRunStillWellFormed) {
+  const Network net = designs::figure5();
+  sim::Simulator simulator(net);
+  const std::string vcd = toVcd(simulator);
+  // Ends with a final timestamp even when no changes happened.
+  EXPECT_NE(vcd.rfind('#'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace eblocks::io

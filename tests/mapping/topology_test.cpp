@@ -1,0 +1,78 @@
+#include "mapping/topology.h"
+
+#include <gtest/gtest.h>
+
+namespace eblocks::mapping {
+namespace {
+
+TEST(Topology, AddNodesAndLinks) {
+  Topology t("house");
+  const PhysId a = t.addNode("hall", 2, 2);
+  const PhysId b = t.addNode("porch", 1, 1);
+  t.addLink(a, b);
+  EXPECT_EQ(t.nodeCount(), 2u);
+  ASSERT_EQ(t.links().size(), 1u);
+  EXPECT_EQ(t.links()[0].from, a);
+  EXPECT_EQ(t.links()[0].to, b);
+  EXPECT_EQ(t.linksFrom(a).size(), 1u);
+  EXPECT_EQ(t.linksInto(b).size(), 1u);
+  EXPECT_TRUE(t.linksFrom(b).empty());
+}
+
+TEST(Topology, DuplexAddsBothDirections) {
+  Topology t;
+  const PhysId a = t.addNode("a", 2, 2);
+  const PhysId b = t.addNode("b", 2, 2);
+  t.addDuplexLink(a, b);
+  EXPECT_EQ(t.links().size(), 2u);
+  EXPECT_EQ(t.linksFrom(a).size(), 1u);
+  EXPECT_EQ(t.linksFrom(b).size(), 1u);
+}
+
+TEST(Topology, ParallelCablesAllowed) {
+  Topology t;
+  const PhysId a = t.addNode("a", 2, 2);
+  const PhysId b = t.addNode("b", 2, 2);
+  t.addLink(a, b);
+  t.addLink(a, b);
+  EXPECT_EQ(t.linksFrom(a).size(), 2u);
+}
+
+TEST(Topology, Validation) {
+  Topology t;
+  const PhysId a = t.addNode("a", 2, 2);
+  EXPECT_THROW(t.addNode("a", 1, 1), std::invalid_argument);
+  EXPECT_THROW(t.addNode("b", -1, 1), std::invalid_argument);
+  EXPECT_THROW(t.addLink(a, a), std::invalid_argument);
+  EXPECT_THROW(t.addLink(a, 99), std::invalid_argument);
+}
+
+TEST(Topology, FindNode) {
+  Topology t;
+  t.addNode("kitchen", 2, 2);
+  EXPECT_TRUE(t.findNode("kitchen").has_value());
+  EXPECT_FALSE(t.findNode("attic").has_value());
+}
+
+TEST(Topology, LineBuilder) {
+  const Topology t = Topology::line(4);
+  EXPECT_EQ(t.nodeCount(), 4u);
+  EXPECT_EQ(t.links().size(), 6u);  // 3 neighbor pairs, duplex
+}
+
+TEST(Topology, RingBuilder) {
+  const Topology t = Topology::ring(5);
+  EXPECT_EQ(t.nodeCount(), 5u);
+  EXPECT_EQ(t.links().size(), 10u);  // 5 pairs, duplex
+}
+
+TEST(Topology, GridBuilder) {
+  const Topology t = Topology::grid(2, 3);
+  EXPECT_EQ(t.nodeCount(), 6u);
+  // Edges: horizontal 2*2=4, vertical 3*1=3 -> 7 pairs, duplex = 14.
+  EXPECT_EQ(t.links().size(), 14u);
+  EXPECT_TRUE(t.findNode("n1_2").has_value());
+}
+
+}  // namespace
+}  // namespace eblocks::mapping

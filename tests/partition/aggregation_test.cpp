@@ -1,0 +1,76 @@
+#include "partition/aggregation.h"
+
+#include <gtest/gtest.h>
+
+#include "blocks/catalog.h"
+#include "designs/library.h"
+#include "partition/exhaustive.h"
+#include "partition/paredown.h"
+#include "partition/verify.h"
+#include "randgen/generator.h"
+
+namespace eblocks::partition {
+namespace {
+
+using blocks::defaultCatalog;
+
+TEST(Aggregation, ChainMerges) {
+  const auto& cat = defaultCatalog();
+  Network net;
+  const BlockId s = net.addBlock("s", cat.button());
+  const BlockId a = net.addBlock("a", cat.inverter());
+  const BlockId b = net.addBlock("b", cat.toggle());
+  const BlockId o = net.addBlock("o", cat.led());
+  net.connect(s, 0, a, 0);
+  net.connect(a, 0, b, 0);
+  net.connect(b, 0, o, 0);
+  const PartitionProblem problem(net, ProgBlockSpec{});
+  const PartitionRun run = aggregation(problem);
+  EXPECT_EQ(run.result.totalAfter(2), 1);
+}
+
+TEST(Aggregation, ResultAlwaysVerifies) {
+  for (std::uint32_t seed = 1; seed <= 10; ++seed) {
+    const randgen::GeneratorOptions gen{.innerBlocks = 20, .seed = seed};
+    const Network net = randgen::randomNetwork(gen);
+    const PartitionProblem problem(net, ProgBlockSpec{});
+    const PartitionRun run = aggregation(problem);
+    const auto violations = verifyPartitioning(problem, run.result);
+    EXPECT_TRUE(violations.empty()) << "seed " << seed << ": "
+                                    << violations.front();
+  }
+}
+
+TEST(Aggregation, NeverBetterThanExhaustive) {
+  for (std::uint32_t seed = 1; seed <= 6; ++seed) {
+    const randgen::GeneratorOptions gen{.innerBlocks = 8, .seed = seed};
+    const Network net = randgen::randomNetwork(gen);
+    const PartitionProblem problem(net, ProgBlockSpec{});
+    const int n = problem.innerCount();
+    EXPECT_GE(aggregation(problem).result.totalAfter(n),
+              exhaustiveSearch(problem).result.totalAfter(n));
+  }
+}
+
+TEST(Aggregation, LacksConvergenceLookahead) {
+  // The diamond from Figure 5's first partition: 2 -> {4,5}, 4 -> 3,
+  // 3 and 5 converge downstream.  PareDown's decomposition sees the
+  // convergence; aggregation grows greedily from the input side and on
+  // this full design ends with a worse (or equal) total -- across the
+  // design library it must never beat PareDown on the Figure-5 graph.
+  const Network net = designs::figure5();
+  const PartitionProblem problem(net, ProgBlockSpec{});
+  const PartitionRun agg = aggregation(problem);
+  const PartitionRun pd = pareDown(problem);
+  EXPECT_GE(agg.result.totalAfter(8), pd.result.totalAfter(8));
+}
+
+TEST(Aggregation, OrChainFindsNothing) {
+  const Network net = designs::byName("Motion on Property Alert");
+  const PartitionProblem problem(net, ProgBlockSpec{});
+  const PartitionRun run = aggregation(problem);
+  EXPECT_TRUE(run.result.partitions.empty());
+}
+
+}  // namespace
+}  // namespace eblocks::partition

@@ -1,0 +1,180 @@
+#include "partition/multitype.h"
+
+#include <gtest/gtest.h>
+
+#include "blocks/catalog.h"
+#include "designs/library.h"
+#include "partition/paredown.h"
+#include "randgen/generator.h"
+
+namespace eblocks::partition {
+namespace {
+
+using blocks::defaultCatalog;
+
+ProgCostModel modelOf(std::initializer_list<ProgBlockOption> options,
+                      double preCost = 1.0) {
+  ProgCostModel m;
+  m.preDefinedBlockCost = preCost;
+  m.options = options;
+  return m;
+}
+
+TEST(MultiType, PaperDefaultMatchesClassicPareDown) {
+  // One 2x2 option with cost in (1, 2) reproduces the base problem: pairs
+  // and larger are beneficial, singles are not.
+  for (std::uint32_t seed = 1; seed <= 8; ++seed) {
+    const Network net = randgen::randomNetwork({.innerBlocks = 12,
+                                                .seed = seed});
+    const TypedPartitionRun typed =
+        multiTypePareDown(net, ProgCostModel::paperDefault());
+    const PartitionProblem problem(net, ProgBlockSpec{});
+    const PartitionRun classic = pareDown(problem);
+    ASSERT_EQ(typed.result.partitions.size(),
+              classic.result.partitions.size())
+        << "seed " << seed;
+    for (std::size_t i = 0; i < typed.result.partitions.size(); ++i)
+      EXPECT_EQ(typed.result.partitions[i].toVector(),
+                classic.result.partitions[i].toVector());
+  }
+}
+
+TEST(MultiType, CheapestFittingOptionPrefersPrice) {
+  const Network net = designs::figure5();
+  BitSet pair = net.emptySet();
+  pair.set(5);  // node 6
+  pair.set(8);  // node 9
+  const auto model = modelOf({{"big", 4, 4, 3.0}, {"small", 2, 2, 1.2}});
+  const auto idx = cheapestFittingOption(net, pair, model);
+  ASSERT_TRUE(idx.has_value());
+  EXPECT_EQ(model.options[static_cast<std::size_t>(*idx)].name, "small");
+}
+
+TEST(MultiType, NoFittingOptionReturnsNull) {
+  const Network net = designs::figure5();
+  const auto model = modelOf({{"tiny", 1, 1, 1.2}});
+  EXPECT_FALSE(
+      cheapestFittingOption(net, net.innerSet(), model).has_value());
+}
+
+TEST(MultiType, WiderOptionSwallowsFigure5Whole) {
+  // A 2-in/3-out option fits all eight inner blocks of Podium Timer 3 at
+  // once; with any cost below 8 the whole design becomes one block.
+  const Network net = designs::figure5();
+  const auto model = modelOf({{"prog_2x2", 2, 2, 1.5},
+                              {"prog_2x3", 2, 3, 2.0}});
+  const TypedPartitionRun run = multiTypePareDown(net, model);
+  ASSERT_EQ(run.result.partitions.size(), 1u);
+  EXPECT_EQ(run.result.partitions[0].count(), 8u);
+  EXPECT_EQ(model.options[static_cast<std::size_t>(run.result.optionIndex[0])]
+                .name,
+            "prog_2x3");
+  EXPECT_DOUBLE_EQ(run.result.totalCost(8, model), 2.0);
+}
+
+TEST(MultiType, ExpensiveProgrammableRaisesTheBar) {
+  // cost(prog) = 3.0: pairs (worth 2.0) are no longer beneficial; only
+  // partitions of >= 4 blocks pay off.  s->a->b->o chains of length 2
+  // stay unreplaced.
+  const auto& cat = defaultCatalog();
+  Network net;
+  const BlockId s = net.addBlock("s", cat.button());
+  const BlockId a = net.addBlock("a", cat.inverter());
+  const BlockId b = net.addBlock("b", cat.toggle());
+  const BlockId o = net.addBlock("o", cat.led());
+  net.connect(s, 0, a, 0);
+  net.connect(a, 0, b, 0);
+  net.connect(b, 0, o, 0);
+  const auto cheap = modelOf({{"prog", 2, 2, 1.5}});
+  const auto pricey = modelOf({{"prog", 2, 2, 3.0}});
+  EXPECT_EQ(multiTypePareDown(net, cheap).result.partitions.size(), 1u);
+  EXPECT_TRUE(multiTypePareDown(net, pricey).result.partitions.empty());
+}
+
+TEST(MultiType, HeuristicResultsAlwaysVerify) {
+  const auto model = modelOf({{"prog_2x2", 2, 2, 1.5},
+                              {"prog_3x2", 3, 2, 1.9},
+                              {"prog_4x4", 4, 4, 2.8}});
+  for (std::uint32_t seed = 1; seed <= 10; ++seed) {
+    const Network net = randgen::randomNetwork({.innerBlocks = 20,
+                                                .seed = seed});
+    const TypedPartitionRun run = multiTypePareDown(net, model);
+    const auto violations = verifyTypedPartitioning(net, model, run.result);
+    EXPECT_TRUE(violations.empty())
+        << "seed " << seed << ": " << violations.front();
+  }
+}
+
+TEST(MultiType, ExhaustiveNeverCostsMoreThanHeuristic) {
+  const auto model = modelOf({{"prog_2x2", 2, 2, 1.5},
+                              {"prog_2x3", 2, 3, 2.0}});
+  for (std::uint32_t seed = 1; seed <= 6; ++seed) {
+    const Network net = randgen::randomNetwork({.innerBlocks = 8,
+                                                .seed = seed});
+    const int n = static_cast<int>(net.innerBlocks().size());
+    const TypedPartitionRun heuristic = multiTypePareDown(net, model);
+    const TypedPartitionRun exact = multiTypeExhaustive(net, model);
+    ASSERT_TRUE(exact.optimal);
+    EXPECT_LE(exact.result.totalCost(n, model) - 1e-9,
+              heuristic.result.totalCost(n, model))
+        << "seed " << seed;
+    EXPECT_TRUE(verifyTypedPartitioning(net, model, exact.result).empty());
+  }
+}
+
+TEST(MultiType, ExhaustivePicksMixOfBlockSizes) {
+  // Figure 5: optimal with {2x2 @1.5, 2x3 @2.0} is the single 2x3 block
+  // (cost 2.0 beats any 2x2 decomposition, whose best is 1 + 2*1.5 = 4).
+  const Network net = designs::figure5();
+  const auto model = modelOf({{"prog_2x2", 2, 2, 1.5},
+                              {"prog_2x3", 2, 3, 2.0}});
+  const TypedPartitionRun run = multiTypeExhaustive(net, model);
+  ASSERT_TRUE(run.optimal);
+  EXPECT_DOUBLE_EQ(run.result.totalCost(8, model), 2.0);
+}
+
+TEST(MultiType, TimeLimitStillVerifies) {
+  const auto model = modelOf({{"prog_2x2", 2, 2, 1.5},
+                              {"prog_4x4", 4, 4, 2.5}});
+  const Network net = randgen::randomNetwork({.innerBlocks = 24, .seed = 5});
+  MultiTypeExhaustiveOptions options;
+  options.timeLimitSeconds = 0.02;
+  options.seed = multiTypePareDown(net, model).result;
+  const TypedPartitionRun run = multiTypeExhaustive(net, model, options);
+  EXPECT_TRUE(run.timedOut);
+  EXPECT_TRUE(verifyTypedPartitioning(net, model, run.result).empty());
+}
+
+TEST(MultiType, VerifierCatchesViolations) {
+  const Network net = designs::figure5();
+  const auto model = modelOf({{"prog_2x2", 2, 2, 1.5}});
+  TypedPartitioning bad;
+  bad.partitions.push_back(net.innerSet());  // needs 3 outputs: no fit
+  bad.optionIndex.push_back(0);
+  EXPECT_FALSE(verifyTypedPartitioning(net, model, bad).empty());
+
+  TypedPartitioning mismatched;
+  mismatched.partitions.push_back(net.innerSet());
+  EXPECT_FALSE(verifyTypedPartitioning(net, model, mismatched).empty());
+
+  TypedPartitioning badIndex;
+  BitSet pair = net.emptySet();
+  pair.set(5);
+  pair.set(8);
+  badIndex.partitions.push_back(pair);
+  badIndex.optionIndex.push_back(7);  // out of range
+  EXPECT_FALSE(verifyTypedPartitioning(net, model, badIndex).empty());
+}
+
+TEST(MultiType, CostAccounting) {
+  const auto model = modelOf({{"prog_2x2", 2, 2, 1.5}});
+  const Network net = designs::figure5();
+  const TypedPartitionRun run = multiTypePareDown(net, model);
+  // Classic result: partitions {2,3,4,5} and {6,8,9}, node 7 left.
+  ASSERT_EQ(run.result.partitions.size(), 2u);
+  EXPECT_EQ(run.result.coveredBlocks(), 7);
+  EXPECT_DOUBLE_EQ(run.result.totalCost(8, model), 1.0 + 1.5 + 1.5);
+}
+
+}  // namespace
+}  // namespace eblocks::partition

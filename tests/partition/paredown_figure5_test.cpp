@@ -1,0 +1,155 @@
+// Golden test: the PareDown walkthrough of Figure 5 (Podium Timer 3).
+//
+// The paper narrates every decision the heuristic makes on this design;
+// this test replays the full trace and checks each checkpoint:
+//   (a) candidate {2..9}: 3 outputs, border {2,8,9} with ranks +1/+1/0,
+//       remove 9;
+//   (b) candidate {2..8}: invalid, border exactly {2,8} (6 and 7 excluded
+//       because an output connects inside), equal ranks, indegree tiebreak
+//       removes 8;
+//   (c) candidate {2..7}: four outputs, ranks of 6 and 7 both -1, the
+//       indegree and outdegree tiebreaks tie, the level tiebreak removes 7;
+//   (d) remove 6; candidate {2,3,4,5} is valid -> partition 1;
+//   (e) round 2 on {6,7,8,9}: invalid, remove 7, {6,8,9} valid ->
+//       partition 2; round 3: {7} fits but is a single block -> dropped.
+// Result: 8 inner blocks -> 3 (2 programmable + 1 pre-defined).
+#include <gtest/gtest.h>
+
+#include "designs/library.h"
+#include "partition/paredown.h"
+
+namespace eblocks::partition {
+namespace {
+
+// Paper node k = BlockId k-1.
+constexpr BlockId N(int paperNode) {
+  return static_cast<BlockId>(paperNode - 1);
+}
+
+std::vector<BlockId> ids(std::initializer_list<int> paperNodes) {
+  std::vector<BlockId> out;
+  for (int n : paperNodes) out.push_back(N(n));
+  return out;
+}
+
+class PareDownFigure5 : public ::testing::Test {
+ protected:
+  PareDownFigure5() : net(designs::figure5()), problem(net, ProgBlockSpec{}) {
+    PareDownOptions options;
+    options.trace = [this](const PareDownStep& step) {
+      steps.push_back(clone(step));
+    };
+    run = pareDown(problem, options);
+  }
+
+  static PareDownStep clone(const PareDownStep& s) {
+    PareDownStep c;
+    c.candidate = s.candidate;
+    c.io = s.io;
+    c.fits = s.fits;
+    c.border = s.border;
+    c.ranks = s.ranks;
+    c.removed = s.removed;
+    return c;
+  }
+
+  int rankOf(const PareDownStep& s, BlockId b) const {
+    for (std::size_t i = 0; i < s.border.size(); ++i)
+      if (s.border[i] == b) return s.ranks[i];
+    ADD_FAILURE() << "block " << b << " not in border";
+    return 999;
+  }
+
+  Network net;
+  PartitionProblem problem;
+  PartitionRun run;
+  std::vector<PareDownStep> steps;
+};
+
+TEST_F(PareDownFigure5, TraceHasEightDecisions) {
+  ASSERT_EQ(steps.size(), 8u);
+}
+
+TEST_F(PareDownFigure5, StepA_FullCandidateThreeOutputs) {
+  const PareDownStep& s = steps[0];
+  EXPECT_EQ(s.candidate.toVector().size(), 8u);
+  EXPECT_FALSE(s.fits);
+  EXPECT_EQ(s.io.inputs, 2);
+  EXPECT_EQ(s.io.outputs, 3);  // "the shaded partition requires three outputs"
+  EXPECT_EQ(s.border, ids({2, 8, 9}));
+  EXPECT_EQ(rankOf(s, N(2)), 1);
+  EXPECT_EQ(rankOf(s, N(8)), 1);
+  EXPECT_EQ(rankOf(s, N(9)), 0);
+  EXPECT_EQ(s.removed, N(9));  // least rank
+}
+
+TEST_F(PareDownFigure5, StepB_IndegreeTiebreakRemoves8) {
+  const PareDownStep& s = steps[1];
+  EXPECT_FALSE(s.fits);
+  // "nodes 2 and 8 are considered for removal, being the border nodes
+  //  (node 6 and 7 are not border nodes ...)"
+  EXPECT_EQ(s.border, ids({2, 8}));
+  EXPECT_EQ(rankOf(s, N(2)), rankOf(s, N(8)));
+  EXPECT_EQ(net.indegree(N(8)), 2);
+  EXPECT_EQ(net.indegree(N(2)), 1);
+  EXPECT_EQ(s.removed, N(8));
+}
+
+TEST_F(PareDownFigure5, StepC_FourOutputsLevelTiebreakRemoves7) {
+  const PareDownStep& s = steps[2];
+  EXPECT_FALSE(s.fits);
+  EXPECT_EQ(s.io.outputs, 4);  // "With a requirement of four outputs"
+  EXPECT_EQ(rankOf(s, N(6)), -1);
+  EXPECT_EQ(rankOf(s, N(7)), -1);
+  // Indegree and outdegree tie; node 7's level (4) beats node 6's (3).
+  EXPECT_EQ(net.indegree(N(6)), net.indegree(N(7)));
+  EXPECT_EQ(net.outdegree(N(6)), net.outdegree(N(7)));
+  EXPECT_GT(problem.levels()[N(7)], problem.levels()[N(6)]);
+  EXPECT_EQ(s.removed, N(7));
+}
+
+TEST_F(PareDownFigure5, StepD_Removes6ThenAccepts2345) {
+  EXPECT_EQ(steps[3].removed, N(6));
+  const PareDownStep& accept = steps[4];
+  EXPECT_TRUE(accept.fits);
+  EXPECT_EQ(accept.candidate.toVector(),
+            (std::vector<std::uint32_t>{N(2), N(3), N(4), N(5)}));
+  EXPECT_EQ(accept.removed, kNoBlock);
+}
+
+TEST_F(PareDownFigure5, Round2_Removes7Accepts689) {
+  const PareDownStep& s = steps[5];
+  EXPECT_EQ(s.candidate.toVector(),
+            (std::vector<std::uint32_t>{N(6), N(7), N(8), N(9)}));
+  EXPECT_FALSE(s.fits);
+  EXPECT_EQ(s.removed, N(7));
+  const PareDownStep& accept = steps[6];
+  EXPECT_TRUE(accept.fits);
+  EXPECT_EQ(accept.candidate.toVector(),
+            (std::vector<std::uint32_t>{N(6), N(8), N(9)}));
+}
+
+TEST_F(PareDownFigure5, Round3_SingleBlock7FitsButDropped) {
+  const PareDownStep& s = steps[7];
+  EXPECT_EQ(s.candidate.toVector(), (std::vector<std::uint32_t>{N(7)}));
+  // "Though the partition fits in a programmable block, the partition is
+  //  invalid for containing only a single block."
+  EXPECT_TRUE(s.fits);
+  EXPECT_LE(s.io.inputs, 2);
+  EXPECT_LE(s.io.outputs, 2);
+}
+
+TEST_F(PareDownFigure5, FinalResultMatchesPaper) {
+  // "the heuristic reduces the internal compute nodes from the initial
+  //  user-defined 8 nodes to only 3" -- 2 programmable + node 7.
+  ASSERT_EQ(run.result.partitions.size(), 2u);
+  EXPECT_EQ(run.result.partitions[0].toVector(),
+            (std::vector<std::uint32_t>{N(2), N(3), N(4), N(5)}));
+  EXPECT_EQ(run.result.partitions[1].toVector(),
+            (std::vector<std::uint32_t>{N(6), N(8), N(9)}));
+  EXPECT_EQ(run.result.totalAfter(8), 3);
+  EXPECT_EQ(run.result.programmableBlocks(), 2);
+}
+
+}  // namespace
+}  // namespace eblocks::partition

@@ -1,0 +1,163 @@
+#include "partition/paredown.h"
+
+#include <gtest/gtest.h>
+
+#include "blocks/catalog.h"
+#include "designs/library.h"
+#include "partition/verify.h"
+#include "randgen/generator.h"
+
+namespace eblocks::partition {
+namespace {
+
+using blocks::defaultCatalog;
+
+TEST(PareDown, SimpleChainBecomesOnePartition) {
+  // s -> a -> b -> o: {a,b} has 1 input and 1 output.
+  const auto& cat = defaultCatalog();
+  Network net;
+  const BlockId s = net.addBlock("s", cat.button());
+  const BlockId a = net.addBlock("a", cat.inverter());
+  const BlockId b = net.addBlock("b", cat.toggle());
+  const BlockId o = net.addBlock("o", cat.led());
+  net.connect(s, 0, a, 0);
+  net.connect(a, 0, b, 0);
+  net.connect(b, 0, o, 0);
+  const PartitionProblem problem(net, ProgBlockSpec{});
+  const PartitionRun run = pareDown(problem);
+  ASSERT_EQ(run.result.partitions.size(), 1u);
+  EXPECT_EQ(run.result.partitions[0].count(), 2u);
+  EXPECT_EQ(run.result.totalAfter(2), 1);
+}
+
+TEST(PareDown, OrChainIsPartitionProof) {
+  // Doorbell-extender shape: no subset ever fits 2x2.
+  const Network net = designs::byName("Doorbell Extender 1");
+  const PartitionProblem problem(net, ProgBlockSpec{});
+  const PartitionRun run = pareDown(problem);
+  EXPECT_TRUE(run.result.partitions.empty());
+  EXPECT_EQ(run.result.totalAfter(5), 5);
+}
+
+TEST(PareDown, EmptyNetworkYieldsNothing) {
+  Network net;
+  const PartitionProblem problem(net, ProgBlockSpec{});
+  const PartitionRun run = pareDown(problem);
+  EXPECT_TRUE(run.result.partitions.empty());
+  EXPECT_EQ(run.result.totalAfter(0), 0);
+}
+
+TEST(PareDown, SingleInnerBlockNeverPartitioned) {
+  const Network net = designs::garageOpenAtNight();  // 2 inner
+  // Shrink the problem: 1x1 programmable block fits nothing here.
+  const PartitionProblem problem(net, ProgBlockSpec{1, 1});
+  const PartitionRun run = pareDown(problem);
+  EXPECT_TRUE(run.result.partitions.empty());
+}
+
+TEST(PareDown, ResultAlwaysVerifies) {
+  for (const auto& entry : designs::designLibrary()) {
+    const PartitionProblem problem(entry.network, ProgBlockSpec{});
+    const PartitionRun run = pareDown(problem);
+    const auto violations = verifyPartitioning(problem, run.result);
+    EXPECT_TRUE(violations.empty())
+        << entry.name << ": " << violations.front();
+  }
+}
+
+TEST(PareDown, MatchesPaperTable1Row11) {
+  // Podium Timer 3: 8 -> total 3, prog 2.
+  const Network net = designs::figure5();
+  const PartitionProblem problem(net, ProgBlockSpec{});
+  const PartitionRun run = pareDown(problem);
+  EXPECT_EQ(run.result.totalAfter(8), 3);
+  EXPECT_EQ(run.result.programmableBlocks(), 2);
+}
+
+TEST(PareDown, WiderBlockSwallowsWholeFigure5) {
+  // With a 2-in/3-out programmable block the full inner set fits at once.
+  const Network net = designs::figure5();
+  const PartitionProblem problem(net, ProgBlockSpec{2, 3});
+  const PartitionRun run = pareDown(problem);
+  ASSERT_EQ(run.result.partitions.size(), 1u);
+  EXPECT_EQ(run.result.partitions[0].count(), 8u);
+  EXPECT_EQ(run.result.totalAfter(8), 1);
+}
+
+TEST(PareDown, DeterministicAcrossRuns) {
+  const randgen::GeneratorOptions gen{.innerBlocks = 30, .seed = 77};
+  const Network net = randgen::randomNetwork(gen);
+  const PartitionProblem problem(net, ProgBlockSpec{});
+  const PartitionRun a = pareDown(problem);
+  const PartitionRun b = pareDown(problem);
+  ASSERT_EQ(a.result.partitions.size(), b.result.partitions.size());
+  for (std::size_t i = 0; i < a.result.partitions.size(); ++i)
+    EXPECT_EQ(a.result.partitions[i].toVector(),
+              b.result.partitions[i].toVector());
+}
+
+TEST(PareDown, WorstCaseQuadraticNotExponential) {
+  // 60 independent 2-sensor gates: nothing merges; the explored counter
+  // must stay O(n^2).
+  const auto& cat = defaultCatalog();
+  Network net;
+  for (int i = 0; i < 60; ++i) {
+    const std::string s = std::to_string(i);
+    const BlockId a = net.addBlock("sa" + s, cat.button());
+    const BlockId b = net.addBlock("sb" + s, cat.button());
+    const BlockId g = net.addBlock("g" + s, cat.or2());
+    const BlockId o = net.addBlock("o" + s, cat.led());
+    net.connect(a, 0, g, 0);
+    net.connect(b, 0, g, 1);
+    net.connect(g, 0, o, 0);
+  }
+  const PartitionProblem problem(net, ProgBlockSpec{});
+  const PartitionRun run = pareDown(problem);
+  EXPECT_TRUE(run.result.partitions.empty());
+  EXPECT_LE(run.explored, 60u * 61u / 2u + 60u);
+}
+
+TEST(PareDown, StrictFigure4AbandonsAfterDoomedRound) {
+  // One three-input gate that fits nothing (2x2 budget, 3 sensor feeds)
+  // followed by a perfectly mergeable chain.  The literal Figure-4
+  // semantics abandon the chain once the gate's round pares to zero; the
+  // robust default retires the gate and still finds the chain.
+  const auto& cat = defaultCatalog();
+  Network net;
+  const BlockId s1 = net.addBlock("s1", cat.button());
+  const BlockId s2 = net.addBlock("s2", cat.button());
+  const BlockId s3 = net.addBlock("s3", cat.button());
+  const BlockId g3 = net.addBlock("g3", cat.or3());
+  const BlockId o1 = net.addBlock("o1", cat.led());
+  net.connect(s1, 0, g3, 0);
+  net.connect(s2, 0, g3, 1);
+  net.connect(s3, 0, g3, 2);
+  net.connect(g3, 0, o1, 0);
+  const BlockId s4 = net.addBlock("s4", cat.button());
+  const BlockId a = net.addBlock("a", cat.inverter());
+  const BlockId b = net.addBlock("b", cat.toggle());
+  const BlockId o2 = net.addBlock("o2", cat.led());
+  net.connect(s4, 0, a, 0);
+  net.connect(a, 0, b, 0);
+  net.connect(b, 0, o2, 0);
+  const PartitionProblem problem(net, ProgBlockSpec{});
+  PareDownOptions strict;
+  strict.strictFigure4 = true;
+  const PartitionRun robust = pareDown(problem);
+  const PartitionRun literal = pareDown(problem, strict);
+  EXPECT_EQ(robust.result.partitions.size(), 1u);   // finds {a, b}
+  EXPECT_LE(literal.result.partitions.size(), robust.result.partitions.size());
+}
+
+TEST(PareDown, TraceObserverSeesEveryDecision) {
+  const Network net = designs::figure5();
+  const PartitionProblem problem(net, ProgBlockSpec{});
+  int calls = 0;
+  PareDownOptions options;
+  options.trace = [&](const PareDownStep&) { ++calls; };
+  const PartitionRun run = pareDown(problem, options);
+  EXPECT_EQ(calls, static_cast<int>(run.explored));
+}
+
+}  // namespace
+}  // namespace eblocks::partition

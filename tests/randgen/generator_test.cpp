@@ -1,0 +1,104 @@
+#include "randgen/generator.h"
+
+#include <gtest/gtest.h>
+
+#include "core/levels.h"
+
+namespace eblocks::randgen {
+namespace {
+
+TEST(Generator, ProducesRequestedInnerCount) {
+  for (int n : {1, 3, 10, 45, 120}) {
+    const Network net = randomNetwork({.innerBlocks = n, .seed = 1});
+    EXPECT_EQ(static_cast<int>(net.innerBlocks().size()), n);
+  }
+}
+
+TEST(Generator, NetworksAreWellFormed) {
+  for (std::uint32_t seed = 1; seed <= 25; ++seed) {
+    const Network net = randomNetwork({.innerBlocks = 15, .seed = seed});
+    const auto problems = net.validate();
+    EXPECT_TRUE(problems.empty()) << "seed " << seed << ": "
+                                  << problems.front();
+    EXPECT_TRUE(net.isAcyclic());
+  }
+}
+
+TEST(Generator, ReproducibleFromSeed) {
+  const Network a = randomNetwork({.innerBlocks = 20, .seed = 9});
+  const Network b = randomNetwork({.innerBlocks = 20, .seed = 9});
+  ASSERT_EQ(a.blockCount(), b.blockCount());
+  ASSERT_EQ(a.connections().size(), b.connections().size());
+  for (std::size_t i = 0; i < a.blockCount(); ++i) {
+    EXPECT_EQ(a.block(static_cast<BlockId>(i)).name,
+              b.block(static_cast<BlockId>(i)).name);
+    EXPECT_EQ(a.block(static_cast<BlockId>(i)).type->name(),
+              b.block(static_cast<BlockId>(i)).type->name());
+  }
+  for (std::size_t i = 0; i < a.connections().size(); ++i)
+    EXPECT_EQ(a.connections()[i], b.connections()[i]);
+}
+
+TEST(Generator, DifferentSeedsDiffer) {
+  const Network a = randomNetwork({.innerBlocks = 20, .seed = 1});
+  const Network b = randomNetwork({.innerBlocks = 20, .seed = 2});
+  bool differs = a.blockCount() != b.blockCount();
+  if (!differs)
+    for (std::size_t i = 0; i < a.blockCount(); ++i)
+      if (a.block(static_cast<BlockId>(i)).type->name() !=
+          b.block(static_cast<BlockId>(i)).type->name()) {
+        differs = true;
+        break;
+      }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Generator, LocalityWindowControlsDepth) {
+  GeneratorOptions deep{.innerBlocks = 40, .seed = 4};
+  deep.localityWindow = 0.05;
+  deep.sensorInputProb = 0.05;
+  GeneratorOptions shallow = deep;
+  shallow.localityWindow = 1.0;
+  shallow.sensorInputProb = 0.5;
+  const auto depthOf = [](const Network& net) {
+    int maxLevel = 0;
+    for (int lv : computeLevels(net)) maxLevel = std::max(maxLevel, lv);
+    return maxLevel;
+  };
+  EXPECT_GT(depthOf(randomNetwork(deep)), depthOf(randomNetwork(shallow)));
+}
+
+TEST(Generator, SensorReuseReducesSensorCount) {
+  GeneratorOptions loner{.innerBlocks = 40, .seed = 6};
+  loner.sensorReuseProb = 0.0;
+  GeneratorOptions sharer = loner;
+  sharer.sensorReuseProb = 0.9;
+  const auto sensorsOf = [](const Network& net) {
+    int n = 0;
+    for (BlockId b = 0; b < net.blockCount(); ++b)
+      if (net.isSensor(b)) ++n;
+    return n;
+  };
+  EXPECT_GT(sensorsOf(randomNetwork(loner)),
+            sensorsOf(randomNetwork(sharer)));
+}
+
+TEST(Generator, RejectsBadArguments) {
+  EXPECT_THROW(randomNetwork({.innerBlocks = 0}), std::invalid_argument);
+  GeneratorOptions bad{.innerBlocks = 5};
+  bad.oneInputWeight = bad.twoInputWeight = bad.threeInputWeight = 0;
+  EXPECT_THROW(randomNetwork(bad), std::invalid_argument);
+}
+
+TEST(Generator, FaninMixRoughlyFollowsWeights) {
+  GeneratorOptions options{.innerBlocks = 300, .seed = 10};
+  options.oneInputWeight = 1.0;
+  options.twoInputWeight = 0.0;
+  options.threeInputWeight = 0.0;
+  const Network net = randomNetwork(options);
+  for (BlockId b : net.innerBlocks())
+    EXPECT_EQ(net.block(b).type->inputCount(), 1);
+}
+
+}  // namespace
+}  // namespace eblocks::randgen

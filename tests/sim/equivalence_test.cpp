@@ -1,0 +1,127 @@
+#include "sim/equivalence.h"
+
+#include <gtest/gtest.h>
+
+#include "blocks/catalog.h"
+#include "designs/library.h"
+
+namespace eblocks::sim {
+namespace {
+
+using blocks::defaultCatalog;
+
+TEST(Equivalence, IdenticalNetworksAgree) {
+  const Network a = designs::garageOpenAtNight();
+  const Network b = designs::garageOpenAtNight();
+  Stimulus st;
+  st.set("garage_door", 1).set("daylight", 1).set("garage_door", 0);
+  EXPECT_FALSE(checkEquivalence(a, b, st).has_value());
+}
+
+TEST(Equivalence, StructurallyDifferentButBehaviorallyEqual) {
+  // not(not(x)) == yes(x).
+  const auto& cat = defaultCatalog();
+  Network a;
+  {
+    const BlockId s = a.addBlock("s", cat.button());
+    const BlockId inv1 = a.addBlock("inv1", cat.inverter());
+    const BlockId inv2 = a.addBlock("inv2", cat.inverter());
+    const BlockId o = a.addBlock("o", cat.led());
+    a.connect(s, 0, inv1, 0);
+    a.connect(inv1, 0, inv2, 0);
+    a.connect(inv2, 0, o, 0);
+  }
+  Network b;
+  {
+    const BlockId s = b.addBlock("s", cat.button());
+    const BlockId buf = b.addBlock("buf", cat.buffer());
+    const BlockId o = b.addBlock("o", cat.led());
+    b.connect(s, 0, buf, 0);
+    b.connect(buf, 0, o, 0);
+  }
+  Stimulus st;
+  st.set("s", 1).set("s", 0).set("s", 1);
+  EXPECT_FALSE(checkEquivalence(a, b, st).has_value());
+}
+
+TEST(Equivalence, DetectsBehavioralDifference) {
+  const auto& cat = defaultCatalog();
+  Network a;
+  {
+    const BlockId s = a.addBlock("s", cat.button());
+    const BlockId g = a.addBlock("g", cat.buffer());
+    const BlockId o = a.addBlock("o", cat.led());
+    a.connect(s, 0, g, 0);
+    a.connect(g, 0, o, 0);
+  }
+  Network b;
+  {
+    const BlockId s = b.addBlock("s", cat.button());
+    const BlockId g = b.addBlock("g", cat.inverter());
+    const BlockId o = b.addBlock("o", cat.led());
+    b.connect(s, 0, g, 0);
+    b.connect(g, 0, o, 0);
+  }
+  Stimulus st;
+  st.set("s", 1);
+  const auto m = checkEquivalence(a, b, st);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->output, "o");
+  EXPECT_EQ(m->expected, 1);
+  EXPECT_EQ(m->actual, 0);
+  EXPECT_EQ(m->stepIndex, 0);
+  EXPECT_NE(m->describe().find("'o'"), std::string::npos);
+}
+
+TEST(Equivalence, MismatchedSensorSetsThrow) {
+  const auto& cat = defaultCatalog();
+  Network a;
+  a.addBlock("s1", cat.button());
+  Network b;
+  b.addBlock("s2", cat.button());
+  Stimulus st;
+  EXPECT_THROW(checkEquivalence(a, b, st), std::invalid_argument);
+}
+
+TEST(Equivalence, MismatchedOutputSetsThrow) {
+  const auto& cat = defaultCatalog();
+  Network a;
+  a.addBlock("s", cat.button());
+  a.addBlock("o1", cat.led());
+  Network b;
+  b.addBlock("s", cat.button());
+  b.addBlock("o2", cat.led());
+  Stimulus st;
+  EXPECT_THROW(checkEquivalence(a, b, st), std::invalid_argument);
+}
+
+TEST(Equivalence, FuzzAgreesOnClones) {
+  const Network a = designs::figure5();
+  const Network b = designs::figure5();
+  EXPECT_FALSE(fuzzEquivalence(a, b, 3, 40, 99).has_value());
+}
+
+TEST(Equivalence, FuzzFindsSubtleStateDifference) {
+  // trip vs toggle diverge on the second press.
+  const auto& cat = defaultCatalog();
+  Network a;
+  {
+    const BlockId s = a.addBlock("s", cat.button());
+    const BlockId g = a.addBlock("g", cat.trip());
+    const BlockId o = a.addBlock("o", cat.led());
+    a.connect(s, 0, g, 0);
+    a.connect(g, 0, o, 0);
+  }
+  Network b;
+  {
+    const BlockId s = b.addBlock("s", cat.button());
+    const BlockId g = b.addBlock("g", cat.toggle());
+    const BlockId o = b.addBlock("o", cat.led());
+    b.connect(s, 0, g, 0);
+    b.connect(g, 0, o, 0);
+  }
+  EXPECT_TRUE(fuzzEquivalence(a, b, 5, 30, 1234).has_value());
+}
+
+}  // namespace
+}  // namespace eblocks::sim

@@ -1,0 +1,75 @@
+#include "sim/stimulus.h"
+
+#include <gtest/gtest.h>
+
+#include "blocks/catalog.h"
+#include "designs/library.h"
+
+namespace eblocks::sim {
+namespace {
+
+TEST(Stimulus, BuilderAccumulatesSteps) {
+  Stimulus st;
+  st.set("a", 1).tick(2).press("b");
+  ASSERT_EQ(st.steps().size(), 5u);
+  EXPECT_EQ(st.steps()[0].kind, StimulusStep::Kind::kSetSensor);
+  EXPECT_EQ(st.steps()[1].kind, StimulusStep::Kind::kTick);
+  EXPECT_EQ(st.steps()[2].kind, StimulusStep::Kind::kTick);
+  EXPECT_EQ(st.steps()[3].value, 1);
+  EXPECT_EQ(st.steps()[4].value, 0);
+}
+
+TEST(Stimulus, RunObservesEveryStepBoundary) {
+  const Network net = designs::garageOpenAtNight();
+  Simulator simulator(net);
+  Stimulus st;
+  st.set("garage_door", 1).set("daylight", 1).set("daylight", 0);
+  const auto observed = st.run(simulator);
+  // One output block, three steps.
+  EXPECT_EQ(observed, (std::vector<std::int64_t>{1, 0, 1}));
+}
+
+TEST(Stimulus, RandomStimulusIsReproducible) {
+  const Network net = designs::garageOpenAtNight();
+  const Stimulus a = randomStimulus(net, 50, 7);
+  const Stimulus b = randomStimulus(net, 50, 7);
+  ASSERT_EQ(a.steps().size(), b.steps().size());
+  for (std::size_t i = 0; i < a.steps().size(); ++i) {
+    EXPECT_EQ(a.steps()[i].kind, b.steps()[i].kind);
+    EXPECT_EQ(a.steps()[i].sensor, b.steps()[i].sensor);
+    EXPECT_EQ(a.steps()[i].value, b.steps()[i].value);
+  }
+}
+
+TEST(Stimulus, RandomStimulusDiffersAcrossSeeds) {
+  const Network net = designs::garageOpenAtNight();
+  const Stimulus a = randomStimulus(net, 50, 7);
+  const Stimulus b = randomStimulus(net, 50, 8);
+  bool differs = a.steps().size() != b.steps().size();
+  for (std::size_t i = 0; !differs && i < a.steps().size(); ++i)
+    differs = a.steps()[i].kind != b.steps()[i].kind ||
+              a.steps()[i].sensor != b.steps()[i].sensor ||
+              a.steps()[i].value != b.steps()[i].value;
+  EXPECT_TRUE(differs);
+}
+
+TEST(Stimulus, RandomStimulusOnlyNamesRealSensors) {
+  const Network net = designs::figure5();
+  const Stimulus st = randomStimulus(net, 100, 3);
+  for (const StimulusStep& s : st.steps())
+    if (s.kind == StimulusStep::Kind::kSetSensor)
+      EXPECT_EQ(s.sensor, "start_button");
+}
+
+TEST(Stimulus, SensorlessNetworkGetsTicksOnly) {
+  const auto& cat = blocks::defaultCatalog();
+  Network net;
+  net.addBlock("lonely", cat.buffer());
+  const Stimulus st = randomStimulus(net, 10, 1);
+  EXPECT_EQ(st.steps().size(), 10u);
+  for (const StimulusStep& s : st.steps())
+    EXPECT_EQ(s.kind, StimulusStep::Kind::kTick);
+}
+
+}  // namespace
+}  // namespace eblocks::sim

@@ -1,0 +1,119 @@
+#include "synth/synthesizer.h"
+
+#include <gtest/gtest.h>
+
+#include "blocks/catalog.h"
+#include "designs/library.h"
+
+namespace eblocks::synth {
+namespace {
+
+using blocks::defaultCatalog;
+
+TEST(Synthesizer, GarageBecomesOneProgrammableBlock) {
+  const Network source = designs::garageOpenAtNight();
+  const SynthResult r = synthesize(source);
+  EXPECT_EQ(r.originalInner, 2);
+  EXPECT_EQ(r.innerAfter, 1);
+  EXPECT_EQ(r.programmableBlocks, 1);
+  ASSERT_EQ(r.blocks.size(), 1u);
+  EXPECT_EQ(r.blocks[0].replaced.size(), 2u);
+  // The synthesized network: 2 sensors + 1 prog + 1 led = 4 blocks.
+  EXPECT_EQ(r.network.blockCount(), 4u);
+  EXPECT_TRUE(r.network.findBlock("prog0").has_value());
+  // Sensors and outputs survive by name.
+  EXPECT_TRUE(r.network.findBlock("garage_door").has_value());
+  EXPECT_TRUE(r.network.findBlock("bedroom_led").has_value());
+}
+
+TEST(Synthesizer, Figure5PareDownShape) {
+  const SynthResult r = synthesize(designs::figure5());
+  EXPECT_EQ(r.originalInner, 8);
+  EXPECT_EQ(r.innerAfter, 3);
+  EXPECT_EQ(r.programmableBlocks, 2);
+  // Network: 1 sensor + 3 LEDs + 2 prog + node 7 = 7 blocks.
+  EXPECT_EQ(r.network.blockCount(), 7u);
+  const auto problems = r.network.validate();
+  EXPECT_TRUE(problems.empty()) << problems.front();
+}
+
+TEST(Synthesizer, SynthesizedNetworkIsWellFormed) {
+  for (const auto& entry : designs::designLibrary()) {
+    const SynthResult r = synthesize(entry.network);
+    const auto problems = r.network.validate();
+    EXPECT_TRUE(problems.empty())
+        << entry.name << ": " << problems.front();
+  }
+}
+
+TEST(Synthesizer, CSourcesEmittedPerBlock) {
+  const SynthResult r = synthesize(designs::figure5());
+  for (const auto& b : r.blocks) {
+    EXPECT_FALSE(b.cSource.empty());
+    EXPECT_NE(b.cSource.find("eb_eval"), std::string::npos);
+  }
+}
+
+TEST(Synthesizer, EmitCOptOut) {
+  SynthOptions options;
+  options.emitC = false;
+  const SynthResult r = synthesize(designs::figure5(), options);
+  for (const auto& b : r.blocks) EXPECT_TRUE(b.cSource.empty());
+}
+
+TEST(Synthesizer, ExhaustiveAlgorithmSelectable) {
+  SynthOptions options;
+  options.algorithm = Algorithm::kExhaustive;
+  const SynthResult r = synthesize(designs::figure5(), options);
+  EXPECT_EQ(r.run.algorithm, "exhaustive");
+  EXPECT_EQ(r.innerAfter, 3);
+}
+
+TEST(Synthesizer, AggregationAlgorithmSelectable) {
+  SynthOptions options;
+  options.algorithm = Algorithm::kAggregation;
+  const SynthResult r = synthesize(designs::figure5(), options);
+  EXPECT_EQ(r.run.algorithm, "aggregation");
+  // Aggregation may be worse but must stay valid.
+  EXPECT_TRUE(r.network.validate().empty());
+}
+
+TEST(Synthesizer, RejectsMalformedSource) {
+  const auto& cat = defaultCatalog();
+  Network net;
+  net.addBlock("s", cat.button());
+  net.addBlock("g", cat.and2());  // inputs undriven, drives nothing
+  EXPECT_THROW(synthesize(net), std::invalid_argument);
+}
+
+TEST(Synthesizer, NoPartitionsMeansStructuralCopy) {
+  const Network source = designs::byName("Any Window Open Alarm");
+  const SynthResult r = synthesize(source);
+  EXPECT_EQ(r.programmableBlocks, 0);
+  EXPECT_EQ(r.network.blockCount(), source.blockCount());
+  EXPECT_EQ(r.network.connections().size(), source.connections().size());
+}
+
+TEST(Synthesizer, ReportMentionsEveryProgrammableBlock) {
+  const SynthResult r = synthesize(designs::figure5());
+  const std::string report = r.report();
+  EXPECT_NE(report.find("8 -> 3"), std::string::npos) << report;
+  for (const auto& b : r.blocks)
+    EXPECT_NE(report.find(b.instanceName), std::string::npos);
+}
+
+TEST(Synthesizer, ProgrammableTypesRecordTargetSpec) {
+  const SynthResult r = synthesize(designs::figure5());
+  for (const auto& b : r.blocks) {
+    const auto id = r.network.findBlock(b.instanceName);
+    ASSERT_TRUE(id.has_value());
+    const BlockType& t = *r.network.block(*id).type;
+    EXPECT_TRUE(t.programmable());
+    EXPECT_NE(t.name().find("prog_2x2"), std::string::npos);
+    EXPECT_LE(t.inputCount(), 2);
+    EXPECT_LE(t.outputCount(), 2);
+  }
+}
+
+}  // namespace
+}  // namespace eblocks::synth
