@@ -13,7 +13,7 @@ using namespace eblocks;
 
 namespace {
 
-std::string names(const Network& net, const BitSet& set) {
+std::string names(const BitSet& set) {
   std::string out;
   set.forEach([&](std::size_t b) {
     if (!out.empty()) out += ",";
@@ -36,7 +36,7 @@ int main() {
   partition::PareDownOptions options;
   options.trace = [&](const partition::PareDownStep& s) {
     std::printf("step %d: candidate {%s}  io=%d in / %d out -> %s\n", ++step,
-                names(net, s.candidate).c_str(), s.io.inputs, s.io.outputs,
+                names(s.candidate).c_str(), s.io.inputs, s.io.outputs,
                 s.fits ? "FITS" : "invalid");
     if (s.fits) {
       if (s.candidate.count() > 1)

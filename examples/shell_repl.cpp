@@ -1,7 +1,7 @@
 // Interactive capture/simulate/synthesize shell -- the command-line
 // counterpart of the paper's GUI tool chain (Figure 2).  Try:
 //
-//   $ ./eblocks_shell
+//   $ ./example_shell_repl
 //   > design Podium Timer 3
 //   > sim
 //   > press start_button
@@ -11,7 +11,7 @@
 //   > press start_button
 //   > emitc prog0
 //
-// Pipe a script for batch use: ./eblocks_shell < script.ebsh
+// Pipe a script for batch use: ./example_shell_repl < script.ebsh
 #include <iostream>
 
 #include "shell/shell.h"

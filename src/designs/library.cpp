@@ -304,7 +304,7 @@ DesignEntry entry(Network net, int innerBlocks, PaperRow paper) {
 }  // namespace
 
 Network figure5() {
-  // Recovered Figure-5 topology (see DESIGN.md):
+  // Recovered Figure-5 topology (see docs/pipeline.md):
   //   1 -> 2,5;  2 -> 4,5;  4 -> 3;  3 -> 7;  5 -> 6;
   //   6 -> 8,9;  7 -> 8,10;  8 -> 11;  9 -> 12.
   // Paper node k = BlockId k-1.

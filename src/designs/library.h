@@ -7,7 +7,7 @@
 // the Table-1 inner-block counts (which we match exactly).  Where the
 // partitioning outcome is structurally forced (or-chains, convergent
 // pairs), the reconstructions also reproduce the paper's post-partitioning
-// numbers; deviations are recorded in EXPERIMENTS.md.
+// numbers; deviations are recorded in docs/benchmarks.md.
 #ifndef EBLOCKS_DESIGNS_LIBRARY_H_
 #define EBLOCKS_DESIGNS_LIBRARY_H_
 

@@ -5,7 +5,7 @@
 // parameters are not specified in the paper; ours produces layered DAGs of
 // catalog blocks with tunable fan-in mix, sensor sharing, and output taps,
 // and is fully reproducible from the seed.  Defaults are tuned so the
-// Table-2 metrics land in the paper's regime (see EXPERIMENTS.md).
+// Table-2 metrics land in the paper's regime (see docs/benchmarks.md).
 #ifndef EBLOCKS_RANDGEN_GENERATOR_H_
 #define EBLOCKS_RANDGEN_GENERATOR_H_
 

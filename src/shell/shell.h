@@ -4,7 +4,7 @@
 // poking sensors, watching outputs, and invoking synthesis.
 //
 // The shell is a library so tests can drive it deterministically;
-// examples/eblocks_shell.cpp wraps it for interactive use.
+// examples/shell_repl.cpp wraps it for interactive use.
 //
 // Commands (one per line; '#' comments):
 //   new <name...>                  start a fresh design

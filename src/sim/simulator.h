@@ -16,7 +16,7 @@
 //   - Sensors are driven via setSensor(); probes read any block variable.
 //
 // The simulator accepts cyclic block graphs (synthesized networks may
-// contain benign block-level cycles; see DESIGN.md) and guards against
+// contain benign block-level cycles; see docs/pipeline.md) and guards against
 // non-settling packet storms with SimOptions::maxEventsPerSettle.
 #ifndef EBLOCKS_SIM_SIMULATOR_H_
 #define EBLOCKS_SIM_SIMULATOR_H_

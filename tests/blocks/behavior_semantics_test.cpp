@@ -90,7 +90,7 @@ INSTANTIATE_TEST_SUITE_P(
                       Gate2Case{"xor2", {0, 1, 1, 0}},
                       Gate2Case{"nand2", {1, 1, 1, 0}},
                       Gate2Case{"nor2", {1, 0, 0, 0}}),
-    [](const auto& info) { return info.param.name; });
+    [](const auto& paramInfo) { return paramInfo.param.name; });
 
 TEST(Semantics, Logic2ArbitraryTable) {
   // tt = 0b1001 (XNOR): f(0,0)=1, f(0,1)=0, f(1,0)=0, f(1,1)=1.

@@ -63,7 +63,7 @@ TEST(DesignLibrary, PareDownReproducesForcedRows) {
 
 TEST(DesignLibrary, PareDownMatchesRecordedExpectations) {
   // Full sweep against the PaperRow fields we ship (our measured values;
-  // deviations from the paper are documented in EXPERIMENTS.md).
+  // deviations from the paper are documented in docs/benchmarks.md).
   for (const auto& e : designLibrary()) {
     if (e.paper.paredownTotal < 0) continue;
     const partition::PartitionProblem problem(e.network, {});

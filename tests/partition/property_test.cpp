@@ -92,9 +92,9 @@ INSTANTIATE_TEST_SUITE_P(
                       PropertyCase{33, 17}, PropertyCase{45, 18},
                       PropertyCase{60, 19}, PropertyCase{10, 20},
                       PropertyCase{10, 21}, PropertyCase{10, 22}),
-    [](const auto& info) {
-      return "n" + std::to_string(info.param.innerBlocks) + "_s" +
-             std::to_string(info.param.seed);
+    [](const auto& paramInfo) {
+      return "n" + std::to_string(paramInfo.param.innerBlocks) + "_s" +
+             std::to_string(paramInfo.param.seed);
     });
 
 class ExhaustiveProperties : public ::testing::TestWithParam<PropertyCase> {};
@@ -117,9 +117,9 @@ INSTANTIATE_TEST_SUITE_P(
                       PropertyCase{5, 33}, PropertyCase{6, 34},
                       PropertyCase{7, 35}, PropertyCase{8, 36},
                       PropertyCase{9, 37}, PropertyCase{10, 38}),
-    [](const auto& info) {
-      return "n" + std::to_string(info.param.innerBlocks) + "_s" +
-             std::to_string(info.param.seed);
+    [](const auto& paramInfo) {
+      return "n" + std::to_string(paramInfo.param.innerBlocks) + "_s" +
+             std::to_string(paramInfo.param.seed);
     });
 
 }  // namespace

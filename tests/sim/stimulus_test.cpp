@@ -56,9 +56,11 @@ TEST(Stimulus, RandomStimulusDiffersAcrossSeeds) {
 TEST(Stimulus, RandomStimulusOnlyNamesRealSensors) {
   const Network net = designs::figure5();
   const Stimulus st = randomStimulus(net, 100, 3);
-  for (const StimulusStep& s : st.steps())
-    if (s.kind == StimulusStep::Kind::kSetSensor)
+  for (const StimulusStep& s : st.steps()) {
+    if (s.kind == StimulusStep::Kind::kSetSensor) {
       EXPECT_EQ(s.sensor, "start_button");
+    }
+  }
 }
 
 TEST(Stimulus, SensorlessNetworkGetsTicksOnly) {

@@ -63,8 +63,8 @@ INSTANTIATE_TEST_SUITE_P(
                       "Podium Timer 3", "Noise At Night Detector",
                       "Two-Zone Security", "Motion on Property Alert",
                       "Timed Passage"),
-    [](const auto& info) {
-      std::string n = info.param;
+    [](const auto& paramInfo) {
+      std::string n = paramInfo.param;
       for (char& c : n)
         if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
       return n;
@@ -92,9 +92,9 @@ INSTANTIATE_TEST_SUITE_P(
                       RandomCase{8, 103}, RandomCase{10, 104},
                       RandomCase{14, 105}, RandomCase{18, 106},
                       RandomCase{25, 107}, RandomCase{32, 108}),
-    [](const auto& info) {
-      return "n" + std::to_string(info.param.innerBlocks) + "_s" +
-             std::to_string(info.param.seed);
+    [](const auto& paramInfo) {
+      return "n" + std::to_string(paramInfo.param.innerBlocks) + "_s" +
+             std::to_string(paramInfo.param.seed);
     });
 
 TEST(SynthEquivalence, SignalsModeAlsoPreservesBehavior) {
