@@ -36,6 +36,7 @@ int main(int argc, char** argv) {
       const eblocks::partition::PartitionProblem problem(net, {});
       eblocks::partition::ExhaustiveOptions options;
       options.timeLimitSeconds = limit;
+      options.threads = 1;  // the paper's plain serial search
       const auto ex = eblocks::partition::exhaustiveSearch(problem, options);
       exNodes += static_cast<double>(ex.explored);
       exTime += ex.seconds;

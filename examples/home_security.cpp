@@ -16,13 +16,11 @@ int main() {
   std::printf("== Source design netlist\n%s\n",
               io::writeNetlist(net).c_str());
 
-  for (const auto algorithm :
-       {synth::Algorithm::kAggregation, synth::Algorithm::kPareDown}) {
+  for (const char* algorithm : {"aggregation", "paredown"}) {
     synth::SynthOptions options;
     options.algorithm = algorithm;
     const synth::SynthResult result = synth::synthesize(net, options);
-    std::printf("== %s\n%s\n", toString(algorithm),
-                result.report().c_str());
+    std::printf("== %s\n%s\n", algorithm, result.report().c_str());
   }
 
   // Simulate an intrusion on the PareDown-synthesized network.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "partition/port_counter.h"
 #include "partition/validity.h"
 
 namespace eblocks::partition {
@@ -23,11 +24,15 @@ PartitionRun aggregation(const PartitionProblem& problem) {
   });
 
   BitSet unassigned = problem.innerSet();
+  // The cluster's port usage is maintained incrementally: every growth
+  // probe adds one block, checks the counter, and backs the block out on a
+  // miss -- O(degree) per probe instead of a full fit recount.
+  PortCounter cluster(net, spec.mode);
   for (BlockId seed : seeds) {
     if (!unassigned.test(seed)) continue;
-    BitSet cluster = net.emptySet();
-    cluster.set(seed);
-    if (!fitsProgrammable(net, cluster, spec)) {
+    cluster.clear();
+    cluster.add(seed);
+    if (!fits(cluster.io(), spec)) {
       // Even alone the seed exceeds the port budget; leave it uncovered.
       unassigned.reset(seed);
       continue;
@@ -40,29 +45,30 @@ PartitionRun aggregation(const PartitionProblem& problem) {
       ++run.explored;
       grew = false;
       std::vector<BlockId> candidates;
-      cluster.forEach([&](std::size_t m) {
+      cluster.members().forEach([&](std::size_t m) {
         const BlockId mb = static_cast<BlockId>(m);
         for (const Connection& c : net.inputsOf(mb))
-          if (unassigned.test(c.from.block) && !cluster.test(c.from.block))
+          if (unassigned.test(c.from.block) && !cluster.contains(c.from.block))
             candidates.push_back(c.from.block);
         for (const Connection& c : net.outputsOf(mb))
-          if (unassigned.test(c.to.block) && !cluster.test(c.to.block))
+          if (unassigned.test(c.to.block) && !cluster.contains(c.to.block))
             candidates.push_back(c.to.block);
       });
       std::sort(candidates.begin(), candidates.end());
       candidates.erase(std::unique(candidates.begin(), candidates.end()),
                        candidates.end());
       for (BlockId cand : candidates) {
-        cluster.set(cand);
-        if (fitsProgrammable(net, cluster, spec)) {
+        cluster.add(cand);
+        if (fits(cluster.io(), spec)) {
           grew = true;
           break;  // accept the first neighbor that fits (no look-ahead)
         }
-        cluster.reset(cand);
+        cluster.remove(cand);
       }
     }
-    if (cluster.count() >= 2) run.result.partitions.push_back(cluster);
-    unassigned.andNot(cluster);
+    if (cluster.memberCount() >= 2)
+      run.result.partitions.push_back(cluster.members());
+    unassigned.andNot(cluster.members());
   }
 
   run.seconds = std::chrono::duration<double>(

@@ -1,0 +1,191 @@
+#include "partition/engine.h"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+
+#include "partition/aggregation.h"
+#include "partition/exhaustive.h"
+#include "partition/paredown.h"
+
+namespace eblocks::partition {
+
+namespace {
+
+class PareDownStrategy final : public Partitioner {
+ public:
+  std::string name() const override { return "paredown"; }
+  std::string description() const override {
+    return "border-paring heuristic (Section 4.2); O(n^2), near-optimal";
+  }
+  PartitionRun run(const PartitionProblem& problem,
+                   const EngineOptions&) const override {
+    return pareDown(problem);
+  }
+};
+
+class AggregationStrategy final : public Partitioner {
+ public:
+  std::string name() const override { return "aggregation"; }
+  std::string description() const override {
+    return "greedy neighbor aggregation (Section 4.2); fast, no look-ahead";
+  }
+  PartitionRun run(const PartitionProblem& problem,
+                   const EngineOptions&) const override {
+    return aggregation(problem);
+  }
+};
+
+class ExhaustiveStrategy final : public Partitioner {
+ public:
+  std::string name() const override { return "exhaustive"; }
+  std::string description() const override {
+    return "optimal parallel branch-and-bound (Section 4.1), PareDown-seeded";
+  }
+  PartitionRun run(const PartitionProblem& problem,
+                   const EngineOptions& options) const override {
+    ExhaustiveOptions ex;
+    ex.timeLimitSeconds = options.timeLimitSeconds;
+    ex.requireConvex = options.requireConvex;
+    ex.threads = options.threads;
+    if (options.seedFromPareDown) ex.seed = pareDown(problem).result;
+    return exhaustiveSearch(problem, ex);
+  }
+};
+
+class MultiTypePareDownStrategy final : public TypedPartitioner {
+ public:
+  std::string name() const override { return "paredown"; }
+  std::string description() const override {
+    return "cost-aware PareDown over multiple programmable block types";
+  }
+  TypedPartitionRun run(const Network& net, const ProgCostModel& model,
+                        const EngineOptions&) const override {
+    return multiTypePareDown(net, model);
+  }
+};
+
+class MultiTypeExhaustiveStrategy final : public TypedPartitioner {
+ public:
+  std::string name() const override { return "exhaustive"; }
+  std::string description() const override {
+    return "optimal parallel branch-and-bound over types and assignments";
+  }
+  TypedPartitionRun run(const Network& net, const ProgCostModel& model,
+                        const EngineOptions& options) const override {
+    MultiTypeExhaustiveOptions ex;
+    ex.timeLimitSeconds = options.timeLimitSeconds;
+    ex.threads = options.threads;
+    if (options.seedFromPareDown)
+      ex.seed = multiTypePareDown(net, model).result;
+    return multiTypeExhaustive(net, model, ex);
+  }
+};
+
+std::string joinNames(const std::vector<std::string>& names) {
+  std::string joined;
+  for (const std::string& n : names) {
+    if (!joined.empty()) joined += ", ";
+    joined += n;
+  }
+  return joined;
+}
+
+}  // namespace
+
+struct PartitionerRegistry::Impl {
+  mutable std::mutex mutex;
+  std::map<std::string, std::unique_ptr<Partitioner>, std::less<>> plain;
+  std::map<std::string, std::unique_ptr<TypedPartitioner>, std::less<>> typed;
+};
+
+PartitionerRegistry::PartitionerRegistry() : impl_(std::make_shared<Impl>()) {}
+
+PartitionerRegistry& PartitionerRegistry::instance() {
+  static PartitionerRegistry* registry = [] {
+    auto* r = new PartitionerRegistry();
+    r->add(std::make_unique<PareDownStrategy>());
+    r->add(std::make_unique<ExhaustiveStrategy>());
+    r->add(std::make_unique<AggregationStrategy>());
+    r->add(std::make_unique<MultiTypePareDownStrategy>());
+    r->add(std::make_unique<MultiTypeExhaustiveStrategy>());
+    return r;
+  }();
+  return *registry;
+}
+
+void PartitionerRegistry::add(std::unique_ptr<Partitioner> partitioner) {
+  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->plain[partitioner->name()] = std::move(partitioner);
+}
+
+void PartitionerRegistry::add(std::unique_ptr<TypedPartitioner> partitioner) {
+  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->typed[partitioner->name()] = std::move(partitioner);
+}
+
+const Partitioner* PartitionerRegistry::find(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  const auto it = impl_->plain.find(name);
+  return it == impl_->plain.end() ? nullptr : it->second.get();
+}
+
+const TypedPartitioner* PartitionerRegistry::findTyped(
+    std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  const auto it = impl_->typed.find(name);
+  return it == impl_->typed.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> PartitionerRegistry::names() const {
+  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  std::vector<std::string> out;
+  out.reserve(impl_->plain.size());
+  for (const auto& [name, unused] : impl_->plain) out.push_back(name);
+  return out;  // std::map iterates sorted
+}
+
+std::vector<std::string> PartitionerRegistry::typedNames() const {
+  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  std::vector<std::string> out;
+  out.reserve(impl_->typed.size());
+  for (const auto& [name, unused] : impl_->typed) out.push_back(name);
+  return out;
+}
+
+std::string PartitionerRegistry::describe(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  const auto it = impl_->plain.find(name);
+  if (it != impl_->plain.end()) return it->second->description();
+  const auto typedIt = impl_->typed.find(name);
+  if (typedIt != impl_->typed.end()) return typedIt->second->description();
+  return "";
+}
+
+PartitionRun runPartitioner(std::string_view name,
+                            const PartitionProblem& problem,
+                            const EngineOptions& options) {
+  PartitionerRegistry& registry = PartitionerRegistry::instance();
+  const Partitioner* partitioner = registry.find(name);
+  if (!partitioner)
+    throw std::invalid_argument(
+        "unknown partitioning algorithm '" + std::string(name) +
+        "' (registered: " + joinNames(registry.names()) + ")");
+  return partitioner->run(problem, options);
+}
+
+TypedPartitionRun runTypedPartitioner(std::string_view name,
+                                      const Network& net,
+                                      const ProgCostModel& model,
+                                      const EngineOptions& options) {
+  PartitionerRegistry& registry = PartitionerRegistry::instance();
+  const TypedPartitioner* partitioner = registry.findTyped(name);
+  if (!partitioner)
+    throw std::invalid_argument(
+        "unknown multi-type partitioning algorithm '" + std::string(name) +
+        "' (registered: " + joinNames(registry.typedNames()) + ")");
+  return partitioner->run(net, model, options);
+}
+
+}  // namespace eblocks::partition

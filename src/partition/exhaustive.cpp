@@ -1,97 +1,186 @@
 #include "partition/exhaustive.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <cstdint>
+#include <limits>
+#include <thread>
+#include <vector>
 
+#include "partition/port_counter.h"
 #include "partition/validity.h"
 
 namespace eblocks::partition {
 
 namespace {
 
-class Search {
- public:
-  Search(const PartitionProblem& problem, const ExhaustiveOptions& options)
-      : problem_(problem),
-        options_(options),
-        net_(problem.network()),
-        edgesMode_(problem.spec().mode == CountingMode::kEdges),
-        inner_(problem.innerBlocks()),
-        deadline_(options.timeLimitSeconds > 0
-                      ? std::chrono::steady_clock::now() +
-                            std::chrono::duration_cast<
-                                std::chrono::steady_clock::duration>(
-                                std::chrono::duration<double>(
-                                    options.timeLimitSeconds))
-                      : std::chrono::steady_clock::time_point::max()) {
+using Clock = std::chrono::steady_clock;
+
+constexpr int kNoCost = std::numeric_limits<int>::max();
+constexpr std::int16_t kUncovered = -1;
+
+Clock::time_point deadlineFor(double seconds) {
+  return seconds > 0
+             ? Clock::now() +
+                   std::chrono::duration_cast<Clock::duration>(
+                       std::chrono::duration<double>(seconds))
+             : Clock::time_point::max();
+}
+
+/// Immutable per-search configuration shared by every worker.
+struct SearchContext {
+  SearchContext(const PartitionProblem& p, const ExhaustiveOptions& o)
+      : problem(p),
+        options(o),
+        net(p.network()),
+        edgesMode(p.spec().mode == CountingMode::kEdges),
+        inner(p.innerBlocks()),
+        deadline(deadlineFor(o.timeLimitSeconds)) {
     // Pre-compute each block's irreducible I/O: connections to non-inner
     // neighbors can never be internalized by growing the bin.
-    fixedIn_.resize(net_.blockCount(), 0);
-    fixedOut_.resize(net_.blockCount(), 0);
-    for (BlockId b : inner_) {
-      for (const Connection& c : net_.inputsOf(b))
-        if (!net_.isInner(c.from.block)) ++fixedIn_[b];
-      for (const Connection& c : net_.outputsOf(b))
-        if (!net_.isInner(c.to.block)) ++fixedOut_[b];
+    fixedIn.resize(net.blockCount(), 0);
+    fixedOut.resize(net.blockCount(), 0);
+    for (BlockId b : inner) {
+      for (const Connection& c : net.inputsOf(b))
+        if (!net.isInner(c.from.block)) ++fixedIn[b];
+      for (const Connection& c : net.outputsOf(b))
+        if (!net.isInner(c.to.block)) ++fixedOut[b];
     }
   }
 
-  PartitionRun run() {
-    PartitionRun out;
-    out.algorithm = "exhaustive";
-    const auto start = std::chrono::steady_clock::now();
+  const PartitionProblem& problem;
+  const ExhaustiveOptions& options;
+  const Network& net;
+  bool edgesMode;
+  const std::vector<BlockId>& inner;
+  std::vector<int> fixedIn, fixedOut;
+  /// Cost of the initial incumbent (seed or "replace nothing").
+  int initialBound = 0;
+  Clock::time_point deadline;
+};
 
-    bestCost_ = static_cast<int>(inner_.size()) + 1;  // worse than "no-op"
-    best_.partitions.clear();
-    if (options_.seed) {
-      const int seedCost =
-          options_.seed->totalAfter(static_cast<int>(inner_.size()));
-      // Trust but verify: only use a seed that is actually feasible.
-      bool feasible = true;
-      for (const BitSet& p : options_.seed->partitions)
-        if (!isValidPartition(problem_, p, options_.requireConvex))
-          feasible = false;
-      if (feasible && seedCost <= bestCost_) {
-        bestCost_ = seedCost;
-        best_ = *options_.seed;
+/// One unit of parallel work: the assignment of the first `choice.size()`
+/// inner blocks.  choice[i] is kUncovered, a bin index, or the number of
+/// bins open so far (meaning "open a new bin").  Tasks are generated in
+/// serial DFS order, which is what makes the final tie-break well-defined.
+struct Task {
+  std::vector<std::int16_t> choice;
+};
+
+/// Mutable state shared across workers.
+///
+/// The incumbent is a packed (cost, DFS-ordinal) pair: ordinal 0 is the
+/// initial seed/baseline incumbent and task i publishes ordinal i+1.  A
+/// node in task i prunes iff ((costSoFar << 32) | i+1) >= liveKey, which
+/// is exactly the lexicographic rule "worse cost, or equal cost but not
+/// earlier in serial DFS order".  This keeps the subtree containing the
+/// serial winner alive while still pruning equal-cost subtrees behind it,
+/// so the parallel result is bit-identical to the serial one.
+struct SharedState {
+  std::atomic<std::uint64_t> liveKey{0};
+  std::atomic<bool> timedOut{false};
+};
+
+struct SubResult {
+  int cost = kNoCost;
+  Partitioning best;
+};
+
+std::uint64_t packKey(int cost, std::uint32_t ordinal) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(cost))
+          << 32) |
+         ordinal;
+}
+
+/// Depth-first branch-and-bound below one task's prefix.  One instance per
+/// worker thread; reused across tasks.
+class Worker {
+ public:
+  Worker(const SearchContext& ctx, SharedState& shared)
+      : ctx_(ctx), shared_(shared) {
+    bins_.reserve(ctx.inner.size() + 1);
+  }
+
+  void runTask(const Task& task, std::uint32_t ordinal, SubResult& out) {
+    myOrdinal_ = ordinal;
+    out_ = &out;
+    localBest_ = ctx_.initialBound;
+    resetBins();
+    int uncovered = 0;
+    for (std::size_t i = 0; i < task.choice.size(); ++i) {
+      const std::int16_t c = task.choice[i];
+      if (c == kUncovered) {
+        ++uncovered;
+        continue;
       }
+      if (static_cast<std::size_t>(c) == binCount_) openBin();
+      addToBin(static_cast<std::size_t>(c), ctx_.inner[i]);
     }
-    // "No partitions" is always feasible with cost n.
-    if (static_cast<int>(inner_.size()) < bestCost_) {
-      bestCost_ = static_cast<int>(inner_.size());
-      best_.partitions.clear();
-    }
-
-    bins_.clear();
-    // Reserve so recursive push_back never reallocates (dfs holds indices
-    // across recursion).
-    bins_.reserve(inner_.size() + 1);
-    dfs(0, /*uncovered=*/0);
-
-    out.result = best_;
-    out.explored = explored_;
-    out.timedOut = timedOut_;
-    out.optimal = !timedOut_;
-    out.seconds = std::chrono::duration<double>(
-                      std::chrono::steady_clock::now() - start)
-                      .count();
-    return out;
+    dfs(task.choice.size(), uncovered);
   }
+
+  std::uint64_t explored() const { return explored_; }
 
  private:
   struct Bin {
-    BitSet members;
-    int count = 0;
+    Bin(const Network& net, CountingMode mode) : counter(net, mode) {}
+    PortCounter counter;
     int fixedIn = 0;   // irreducible inputs (edges from non-inner blocks)
     int fixedOut = 0;  // irreducible outputs (edges to non-inner blocks)
   };
 
+  void resetBins() {
+    for (std::size_t j = 0; j < binCount_; ++j) {
+      bins_[j].counter.clear();
+      bins_[j].fixedIn = 0;
+      bins_[j].fixedOut = 0;
+    }
+    binCount_ = 0;
+  }
+
+  void openBin() {
+    if (binCount_ == bins_.size())
+      bins_.emplace_back(ctx_.net, ctx_.problem.spec().mode);
+    ++binCount_;
+  }
+
+  void addToBin(std::size_t j, BlockId b) {
+    bins_[j].counter.add(b);
+    bins_[j].fixedIn += ctx_.fixedIn[b];
+    bins_[j].fixedOut += ctx_.fixedOut[b];
+  }
+
+  void removeFromBin(std::size_t j, BlockId b) {
+    bins_[j].fixedOut -= ctx_.fixedOut[b];
+    bins_[j].fixedIn -= ctx_.fixedIn[b];
+    bins_[j].counter.remove(b);
+  }
+
+  bool fixedOverflow(std::size_t j, BlockId b) const {
+    return ctx_.edgesMode &&
+           (bins_[j].fixedIn + ctx_.fixedIn[b] > ctx_.problem.spec().inputs ||
+            bins_[j].fixedOut + ctx_.fixedOut[b] >
+                ctx_.problem.spec().outputs);
+  }
+
   bool timeExpired() {
-    if (timedOut_) return true;
-    if ((explored_ & 0xfff) == 0 &&
-        std::chrono::steady_clock::now() > deadline_)
-      timedOut_ = true;
-    return timedOut_;
+    if (aborted_) return true;
+    if ((explored_ & 0xfff) == 0) {
+      if (shared_.timedOut.load(std::memory_order_relaxed)) {
+        aborted_ = true;
+      } else if (Clock::now() > ctx_.deadline) {
+        shared_.timedOut.store(true, std::memory_order_relaxed);
+        aborted_ = true;
+      }
+    }
+    return aborted_;
+  }
+
+  bool boundPrunes(int costSoFar) const {
+    if (costSoFar >= localBest_) return true;
+    return packKey(costSoFar, myOrdinal_) >=
+           shared_.liveKey.load(std::memory_order_relaxed);
   }
 
   void dfs(std::size_t idx, int uncovered) {
@@ -99,83 +188,80 @@ class Search {
     if (timeExpired()) return;
     // Lower bound on the final cost: every open bin stays a bin, every
     // uncovered block stays uncovered.
-    const int costSoFar = static_cast<int>(bins_.size()) + uncovered;
-    if (costSoFar >= bestCost_) return;
-    if (idx == inner_.size()) {
-      finishAssignment(uncovered);
+    const int costSoFar = static_cast<int>(binCount_) + uncovered;
+    if (boundPrunes(costSoFar)) return;
+    if (idx == ctx_.inner.size()) {
+      finish(uncovered);
       return;
     }
-    const BlockId b = inner_[idx];
-    // Choice 1: join an existing bin.  Indexed access: the recursion below
-    // appends to bins_, so references across the call would dangle if the
-    // vector ever reallocated.
-    const std::size_t openBins = bins_.size();
+    const BlockId b = ctx_.inner[idx];
+    // Choice 1: join an existing bin (indexed access: openBin() may grow
+    // the pool vector during recursion).
+    const std::size_t openBins = binCount_;
     for (std::size_t j = 0; j < openBins; ++j) {
-      if (edgesMode_ &&
-          (bins_[j].fixedIn + fixedIn_[b] > problem_.spec().inputs ||
-           bins_[j].fixedOut + fixedOut_[b] > problem_.spec().outputs))
-        continue;  // irreducible I/O already over budget
-      bins_[j].members.set(b);
-      bins_[j].count++;
-      bins_[j].fixedIn += fixedIn_[b];
-      bins_[j].fixedOut += fixedOut_[b];
+      if (fixedOverflow(j, b)) continue;  // irreducible I/O over budget
+      addToBin(j, b);
       dfs(idx + 1, uncovered);
-      bins_[j].fixedOut -= fixedOut_[b];
-      bins_[j].fixedIn -= fixedIn_[b];
-      bins_[j].count--;
-      bins_[j].members.reset(b);
+      removeFromBin(j, b);
     }
     // Choice 2: open a new bin (all empty bins are interchangeable, so a
     // single branch suffices -- the paper's symmetry pruning).
-    {
-      Bin bin;
-      bin.members = net_.emptySet();
-      bin.members.set(b);
-      bin.count = 1;
-      bin.fixedIn = fixedIn_[b];
-      bin.fixedOut = fixedOut_[b];
-      if (!(edgesMode_ && (bin.fixedIn > problem_.spec().inputs ||
-                           bin.fixedOut > problem_.spec().outputs))) {
-        bins_.push_back(std::move(bin));
-        dfs(idx + 1, uncovered);
-        bins_.pop_back();
-      }
+    if (!(ctx_.edgesMode &&
+          (ctx_.fixedIn[b] > ctx_.problem.spec().inputs ||
+           ctx_.fixedOut[b] > ctx_.problem.spec().outputs))) {
+      openBin();
+      addToBin(binCount_ - 1, b);
+      dfs(idx + 1, uncovered);
+      removeFromBin(binCount_ - 1, b);
+      --binCount_;
     }
     // Choice 3: leave uncovered.
     dfs(idx + 1, uncovered + 1);
   }
 
-  void finishAssignment(int uncovered) {
-    const int cost = static_cast<int>(bins_.size()) + uncovered;
-    if (cost >= bestCost_) return;
-    for (const Bin& bin : bins_) {
-      if (bin.count < 2) return;  // single-node partitions are invalid
-      if (!fitsProgrammable(net_, bin.members, problem_.spec())) return;
-      if (options_.requireConvex && !isConvex(net_, bin.members)) return;
+  void finish(int uncovered) {
+    const int cost = static_cast<int>(binCount_) + uncovered;
+    if (cost >= localBest_) return;
+    for (std::size_t j = 0; j < binCount_; ++j) {
+      const Bin& bin = bins_[j];
+      if (bin.counter.memberCount() < 2)
+        return;  // single-node partitions are invalid
+      if (!fits(bin.counter.io(), ctx_.problem.spec())) return;
+      if (ctx_.options.requireConvex &&
+          !isConvex(ctx_.net, bin.counter.members()))
+        return;
     }
-    if (options_.requireAcyclicQuotient && !quotientAcyclic()) return;
-    // Tie handling: strictly better cost only, so the first optimal found
+    if (ctx_.options.requireAcyclicQuotient && !quotientAcyclic()) return;
+    // Tie handling: strictly better cost only, so the first optimum found
     // in DFS order is kept (deterministic).
-    bestCost_ = cost;
-    best_.partitions.clear();
-    for (const Bin& bin : bins_) best_.partitions.push_back(bin.members);
+    localBest_ = cost;
+    out_->cost = cost;
+    out_->best.partitions.clear();
+    for (std::size_t j = 0; j < binCount_; ++j)
+      out_->best.partitions.push_back(bins_[j].counter.members());
+    // Publish to the shared incumbent (monotone lexicographic minimum).
+    const std::uint64_t key = packKey(cost, myOrdinal_);
+    std::uint64_t cur = shared_.liveKey.load(std::memory_order_relaxed);
+    while (key < cur && !shared_.liveKey.compare_exchange_weak(
+                            cur, key, std::memory_order_relaxed)) {
+    }
   }
 
   /// Checks that contracting every bin leaves the block graph acyclic.
   bool quotientAcyclic() const {
     // Map each block to its group: bins get ids [n, n+k), others self.
-    const std::size_t n = net_.blockCount();
+    const std::size_t n = ctx_.net.blockCount();
     std::vector<std::uint32_t> group(n);
     for (std::size_t i = 0; i < n; ++i)
       group[i] = static_cast<std::uint32_t>(i);
-    for (std::size_t k = 0; k < bins_.size(); ++k)
-      bins_[k].members.forEach([&](std::size_t b) {
+    for (std::size_t k = 0; k < binCount_; ++k)
+      bins_[k].counter.members().forEach([&](std::size_t b) {
         group[b] = static_cast<std::uint32_t>(n + k);
       });
-    const std::size_t total = n + bins_.size();
+    const std::size_t total = n + binCount_;
     std::vector<std::vector<std::uint32_t>> adj(total);
     std::vector<int> indeg(total, 0);
-    for (const Connection& c : net_.connections()) {
+    for (const Connection& c : ctx_.net.connections()) {
       const std::uint32_t u = group[c.from.block], v = group[c.to.block];
       if (u == v) continue;
       adj[u].push_back(v);
@@ -195,26 +281,194 @@ class Search {
     return seen == total;
   }
 
-  const PartitionProblem& problem_;
-  ExhaustiveOptions options_;
-  const Network& net_;
-  bool edgesMode_ = false;
-  const std::vector<BlockId>& inner_;
-  std::vector<int> fixedIn_, fixedOut_;
-  std::vector<Bin> bins_;
-  Partitioning best_;
-  int bestCost_ = 0;
+  const SearchContext& ctx_;
+  SharedState& shared_;
+  std::vector<Bin> bins_;  // pool; the first binCount_ entries are live
+  std::size_t binCount_ = 0;
+  int localBest_ = 0;
+  std::uint32_t myOrdinal_ = 0;
+  SubResult* out_ = nullptr;
   std::uint64_t explored_ = 0;
-  bool timedOut_ = false;
-  std::chrono::steady_clock::time_point deadline_;
+  bool aborted_ = false;
+};
+
+/// Enumerates every surviving assignment of the first `depth` inner blocks
+/// in serial DFS order.  Applies only deterministic prunes (the initial
+/// bound and the irreducible-I/O rule), so the task list is a superset of
+/// the subtrees the serial search would enter -- including equal-cost ties.
+class PrefixGenerator {
+ public:
+  explicit PrefixGenerator(const SearchContext& ctx) : ctx_(ctx) {}
+
+  std::vector<Task> generate(std::size_t depth, std::uint64_t& explored) {
+    depth_ = depth;
+    tasks_.clear();
+    choice_.clear();
+    binFixedIn_.clear();
+    binFixedOut_.clear();
+    explored_ = 0;
+    gen(0, 0);
+    explored = explored_;
+    return std::move(tasks_);
+  }
+
+ private:
+  void gen(std::size_t idx, int uncovered) {
+    ++explored_;
+    const int costSoFar = static_cast<int>(binFixedIn_.size()) + uncovered;
+    if (costSoFar >= ctx_.initialBound) return;
+    if (idx == depth_ || idx == ctx_.inner.size()) {
+      tasks_.push_back(Task{choice_});
+      return;
+    }
+    const BlockId b = ctx_.inner[idx];
+    const std::size_t openBins = binFixedIn_.size();
+    for (std::size_t j = 0; j < openBins; ++j) {
+      if (ctx_.edgesMode &&
+          (binFixedIn_[j] + ctx_.fixedIn[b] > ctx_.problem.spec().inputs ||
+           binFixedOut_[j] + ctx_.fixedOut[b] > ctx_.problem.spec().outputs))
+        continue;
+      binFixedIn_[j] += ctx_.fixedIn[b];
+      binFixedOut_[j] += ctx_.fixedOut[b];
+      choice_.push_back(static_cast<std::int16_t>(j));
+      gen(idx + 1, uncovered);
+      choice_.pop_back();
+      binFixedOut_[j] -= ctx_.fixedOut[b];
+      binFixedIn_[j] -= ctx_.fixedIn[b];
+    }
+    if (!(ctx_.edgesMode &&
+          (ctx_.fixedIn[b] > ctx_.problem.spec().inputs ||
+           ctx_.fixedOut[b] > ctx_.problem.spec().outputs))) {
+      binFixedIn_.push_back(ctx_.fixedIn[b]);
+      binFixedOut_.push_back(ctx_.fixedOut[b]);
+      choice_.push_back(static_cast<std::int16_t>(openBins));
+      gen(idx + 1, uncovered);
+      choice_.pop_back();
+      binFixedOut_.pop_back();
+      binFixedIn_.pop_back();
+    }
+    choice_.push_back(kUncovered);
+    gen(idx + 1, uncovered + 1);
+    choice_.pop_back();
+  }
+
+  const SearchContext& ctx_;
+  std::size_t depth_ = 0;
+  std::vector<Task> tasks_;
+  std::vector<std::int16_t> choice_;
+  std::vector<int> binFixedIn_, binFixedOut_;
+  std::uint64_t explored_ = 0;
 };
 
 }  // namespace
 
+int resolveSearchThreads(int threads) {
+  if (threads > 0) return threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
 PartitionRun exhaustiveSearch(const PartitionProblem& problem,
                               const ExhaustiveOptions& options) {
-  Search search(problem, options);
-  return search.run();
+  PartitionRun out;
+  out.algorithm = "exhaustive";
+  const auto start = Clock::now();
+
+  SearchContext ctx(problem, options);
+  const int n = static_cast<int>(ctx.inner.size());
+
+  // Initial incumbent, exactly as the serial search has always set it.
+  int bestCost = n + 1;  // worse than "no-op"
+  Partitioning best;
+  if (options.seed) {
+    const int seedCost = options.seed->totalAfter(n);
+    // Trust but verify: only use a seed that is actually feasible.
+    bool feasible = true;
+    for (const BitSet& p : options.seed->partitions)
+      if (!isValidPartition(problem, p, options.requireConvex))
+        feasible = false;
+    if (feasible && seedCost <= bestCost) {
+      bestCost = seedCost;
+      best = *options.seed;
+    }
+  }
+  // "No partitions" is always feasible with cost n.
+  if (n < bestCost) {
+    bestCost = n;
+    best.partitions.clear();
+  }
+  ctx.initialBound = bestCost;
+
+  SharedState shared;
+  shared.liveKey.store(packKey(bestCost, 0), std::memory_order_relaxed);
+
+  const int threads = resolveSearchThreads(options.threads);
+  std::uint64_t explored = 0;
+
+  std::vector<Task> tasks;
+  if (threads > 1 && n >= 2) {
+    // Split the tree at the shallowest depth that yields enough subtrees
+    // to keep every worker busy (the branching factor is ~3, so this
+    // converges in a handful of cheap enumeration passes).
+    PrefixGenerator gen(ctx);
+    const std::size_t target =
+        std::max<std::size_t>(64, static_cast<std::size_t>(threads) * 8);
+    std::uint64_t genExplored = 0;
+    for (std::size_t depth = 1;; ++depth) {
+      tasks = gen.generate(depth, genExplored);
+      if (tasks.size() >= target || depth >= static_cast<std::size_t>(n) ||
+          tasks.size() > 4096)
+        break;
+    }
+    explored += genExplored;
+  } else {
+    tasks.push_back(Task{});  // one task: the whole tree, on this thread
+  }
+
+  std::vector<SubResult> results(tasks.size());
+  const int workerCount =
+      static_cast<int>(std::min<std::size_t>(
+          static_cast<std::size_t>(threads), tasks.size()));
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::uint64_t> totalExplored{0};
+  auto workFn = [&] {
+    Worker worker(ctx, shared);
+    for (;;) {
+      if (shared.timedOut.load(std::memory_order_relaxed)) break;
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= tasks.size()) break;
+      worker.runTask(tasks[i], static_cast<std::uint32_t>(i) + 1,
+                     results[i]);
+    }
+    totalExplored.fetch_add(worker.explored(), std::memory_order_relaxed);
+  };
+  if (workerCount <= 1) {
+    workFn();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(workerCount) - 1);
+    for (int t = 1; t < workerCount; ++t) pool.emplace_back(workFn);
+    workFn();
+    for (std::thread& th : pool) th.join();
+  }
+  explored += totalExplored.load(std::memory_order_relaxed);
+
+  // Deterministic reduction: tasks are in serial DFS order and each task
+  // recorded the first solution of its local minimum cost, so taking the
+  // first strict improvement reproduces the serial result bit for bit.
+  for (SubResult& r : results) {
+    if (r.cost < bestCost) {
+      bestCost = r.cost;
+      best = std::move(r.best);
+    }
+  }
+
+  out.result = std::move(best);
+  out.explored = explored;
+  out.timedOut = shared.timedOut.load(std::memory_order_relaxed);
+  out.optimal = !out.timedOut;
+  out.seconds = std::chrono::duration<double>(Clock::now() - start).count();
+  return out;
 }
 
 }  // namespace eblocks::partition

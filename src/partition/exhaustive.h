@@ -13,6 +13,17 @@
 //     by adding more members, so a bin whose non-inner I/O alone exceeds
 //     the port budget is dead (edge-counting mode only).
 // An optional initial solution (e.g. PareDown's) seeds the bound.
+//
+// With threads != 1 the search runs as a work-queue parallel
+// branch-and-bound: the tree is split at a depth chosen to yield several
+// subtrees per worker, workers share the incumbent bound through an
+// atomic, and the final reduction applies a deterministic tie-break (DFS
+// order) so a *completed* search returns a partitioning bit-identical to
+// the serial search's, on every run at every thread count.  Only a run
+// that hits the time limit is scheduling-dependent: workers stop at
+// whatever node they reach, so the (still feasible, timedOut-flagged)
+// best-so-far may differ between runs -- exactly as two serial runs with
+// different time budgets may.
 #ifndef EBLOCKS_PARTITION_EXHAUSTIVE_H_
 #define EBLOCKS_PARTITION_EXHAUSTIVE_H_
 
@@ -39,12 +50,20 @@ struct ExhaustiveOptions {
   /// Seed the branch-and-bound with a known solution (commonly PareDown's).
   /// Purely an accelerator: never changes the optimum found.
   std::optional<Partitioning> seed;
+  /// Worker threads for the branch-and-bound.  0 = one per hardware
+  /// thread (std::thread::hardware_concurrency), 1 = the original serial
+  /// search.  Every thread count returns the identical result unless the
+  /// time limit cuts the search short (see the header comment).
+  int threads = 0;
 };
 
 /// Runs the exhaustive search.  `run.optimal` is true iff the search
 /// completed within the time limit.
 PartitionRun exhaustiveSearch(const PartitionProblem& problem,
                               const ExhaustiveOptions& options = {});
+
+/// The thread count `threads = 0` resolves to (>= 1).
+int resolveSearchThreads(int threads);
 
 }  // namespace eblocks::partition
 

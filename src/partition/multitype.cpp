@@ -1,11 +1,16 @@
 #include "partition/multitype.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <limits>
+#include <thread>
+#include <vector>
 
 #include "core/levels.h"
+#include "partition/exhaustive.h"
+#include "partition/port_counter.h"
 
 namespace eblocks::partition {
 
@@ -63,10 +68,8 @@ double TypedPartitioning::totalCost(int originalInnerCount,
   return cost;
 }
 
-std::optional<int> cheapestFittingOption(const Network& net,
-                                         const BitSet& members,
+std::optional<int> cheapestFittingOption(const IoCount& io,
                                          const ProgCostModel& model) {
-  const IoCount io = countIo(net, members, model.mode);
   std::optional<int> best;
   for (std::size_t i = 0; i < model.options.size(); ++i) {
     const ProgBlockOption& o = model.options[i];
@@ -78,6 +81,12 @@ std::optional<int> cheapestFittingOption(const Network& net,
   return best;
 }
 
+std::optional<int> cheapestFittingOption(const Network& net,
+                                         const BitSet& members,
+                                         const ProgCostModel& model) {
+  return cheapestFittingOption(countIo(net, members, model.mode), model);
+}
+
 TypedPartitionRun multiTypePareDown(const Network& net,
                                     const ProgCostModel& model) {
   const auto start = std::chrono::steady_clock::now();
@@ -86,42 +95,47 @@ TypedPartitionRun multiTypePareDown(const Network& net,
   const std::vector<int> levels = computeLevels(net);
 
   BitSet blocks = net.innerSet();
+  // Port usage of the paring candidate is maintained incrementally (one
+  // O(degree) update per removal) on the shared validity kernel.
+  PortCounter candidate(net, model.mode);
   while (blocks.any()) {
-    BitSet candidate = blocks;
+    candidate.assign(blocks);
     bool accepted = false;
     BlockId lastRemoved = kNoBlock;
-    while (candidate.any()) {
+    while (candidate.memberCount() > 0) {
       ++run.explored;
-      const auto option = cheapestFittingOption(net, candidate, model);
+      const auto option = cheapestFittingOption(candidate.io(), model);
       if (option) {
         const double replaceCost =
             model.options[static_cast<std::size_t>(*option)].cost;
         const double keepCost =
-            model.preDefinedBlockCost * static_cast<double>(candidate.count());
+            model.preDefinedBlockCost *
+            static_cast<double>(candidate.memberCount());
         if (replaceCost + kCostSlack < keepCost) {
-          run.result.partitions.push_back(candidate);
+          run.result.partitions.push_back(candidate.members());
           run.result.optionIndex.push_back(*option);
         }
         // Not beneficial (e.g. a lone block): retire the candidate either
         // way; paring further can only shrink the benefit.
-        blocks.andNot(candidate);
+        blocks.andNot(candidate.members());
         accepted = true;
         break;
       }
-      const std::vector<BlockId> border = borderBlocks(net, candidate);
+      const std::vector<BlockId> border =
+          borderBlocks(net, candidate.members());
       if (border.empty()) {  // pathological; retire candidate
-        blocks.andNot(candidate);
+        blocks.andNot(candidate.members());
         accepted = true;
         break;
       }
       std::vector<int> ranks;
       ranks.reserve(border.size());
       for (BlockId b : border)
-        ranks.push_back(removalRank(net, candidate, b));
+        ranks.push_back(removalRank(net, candidate.members(), b));
       lastRemoved = chooseRemoval(net, levels, border, ranks);
-      candidate.reset(lastRemoved);
+      candidate.remove(lastRemoved);
     }
-    if (!accepted && candidate.none()) blocks.reset(lastRemoved);
+    if (!accepted && candidate.memberCount() == 0) blocks.reset(lastRemoved);
   }
 
   run.seconds = std::chrono::duration<double>(
@@ -132,121 +146,229 @@ TypedPartitionRun multiTypePareDown(const Network& net,
 
 namespace {
 
-class MultiSearch {
+using Clock = std::chrono::steady_clock;
+
+/// One unit of parallel work: the bin assignment of the first
+/// `choice.size()` inner blocks (-1 = uncovered, j = join bin j, j ==
+/// #bins = open a new bin).  Generated in serial DFS order.
+struct MultiTask {
+  std::vector<std::int16_t> choice;
+};
+
+constexpr std::int16_t kUncovered = -1;
+
+struct MultiShared {
+  /// Best cost discovered anywhere; pruning uses the *strict* comparison
+  /// `lowerBound > liveCost + slack`, which keeps every subtree that can
+  /// still tie the optimum alive, so the deterministic DFS-order
+  /// reduction reproduces the serial result exactly.
+  std::atomic<double> liveCost{std::numeric_limits<double>::infinity()};
+  std::atomic<bool> timedOut{false};
+};
+
+void lowerLive(std::atomic<double>& live, double c) {
+  double cur = live.load(std::memory_order_relaxed);
+  while (c < cur &&
+         !live.compare_exchange_weak(cur, c, std::memory_order_relaxed)) {
+  }
+}
+
+struct MultiSubResult {
+  double cost = std::numeric_limits<double>::infinity();
+  TypedPartitioning best;
+};
+
+/// Immutable per-search configuration shared by every worker.
+struct MultiContext {
+  MultiContext(const Network& n, const ProgCostModel& m,
+               const MultiTypeExhaustiveOptions& o)
+      : net(n),
+        model(m),
+        options(o),
+        inner(n.innerBlocks()),
+        deadline(o.timeLimitSeconds > 0
+                     ? Clock::now() +
+                           std::chrono::duration_cast<Clock::duration>(
+                               std::chrono::duration<double>(
+                                   o.timeLimitSeconds))
+                     : Clock::time_point::max()) {
+    minOptionCost = std::numeric_limits<double>::infinity();
+    for (const ProgBlockOption& opt : m.options)
+      minOptionCost = std::min(minOptionCost, opt.cost);
+    if (m.options.empty()) minOptionCost = 0;
+  }
+
+  const Network& net;
+  const ProgCostModel& model;
+  const MultiTypeExhaustiveOptions& options;
+  std::vector<BlockId> inner;
+  double minOptionCost = 0;
+  double initialBound = 0;
+  Clock::time_point deadline;
+};
+
+class MultiWorker {
  public:
-  MultiSearch(const Network& net, const ProgCostModel& model,
-              const MultiTypeExhaustiveOptions& options)
-      : net_(net),
-        model_(model),
-        options_(options),
-        inner_(net.innerBlocks()),
-        deadline_(options.timeLimitSeconds > 0
-                      ? std::chrono::steady_clock::now() +
-                            std::chrono::duration_cast<
-                                std::chrono::steady_clock::duration>(
-                                std::chrono::duration<double>(
-                                    options.timeLimitSeconds))
-                      : std::chrono::steady_clock::time_point::max()) {
-    minOptionCost_ = std::numeric_limits<double>::infinity();
-    for (const ProgBlockOption& o : model.options)
-      minOptionCost_ = std::min(minOptionCost_, o.cost);
-    if (model.options.empty()) minOptionCost_ = 0;
+  MultiWorker(const MultiContext& ctx, MultiShared& shared)
+      : ctx_(ctx), shared_(shared) {
+    bins_.reserve(ctx.inner.size() + 1);
   }
 
-  TypedPartitionRun run() {
-    TypedPartitionRun out;
-    out.algorithm = "multitype-exhaustive";
-    const auto start = std::chrono::steady_clock::now();
-
-    const int n = static_cast<int>(inner_.size());
-    bestCost_ = model_.preDefinedBlockCost * n;  // "replace nothing"
-    best_ = TypedPartitioning{};
-    if (options_.seed &&
-        verifyTypedPartitioning(net_, model_, *options_.seed).empty()) {
-      const double c = options_.seed->totalCost(n, model_);
-      if (c < bestCost_) {
-        bestCost_ = c;
-        best_ = *options_.seed;
+  void runTask(const MultiTask& task, MultiSubResult& out) {
+    out_ = &out;
+    localBest_ = ctx_.initialBound;
+    resetBins();
+    int uncovered = 0;
+    for (std::size_t i = 0; i < task.choice.size(); ++i) {
+      const std::int16_t c = task.choice[i];
+      if (c == kUncovered) {
+        ++uncovered;
+        continue;
       }
+      if (static_cast<std::size_t>(c) == binCount_) openBin();
+      bins_[static_cast<std::size_t>(c)].add(ctx_.inner[i]);
     }
-    bins_.clear();
-    bins_.reserve(inner_.size() + 1);
-    dfs(0, 0);
-
-    out.result = best_;
-    out.explored = explored_;
-    out.timedOut = timedOut_;
-    out.optimal = !timedOut_;
-    out.seconds = std::chrono::duration<double>(
-                      std::chrono::steady_clock::now() - start)
-                      .count();
-    return out;
+    dfs(task.choice.size(), uncovered);
   }
+
+  std::uint64_t explored() const { return explored_; }
 
  private:
+  void resetBins() {
+    for (std::size_t j = 0; j < binCount_; ++j) bins_[j].clear();
+    binCount_ = 0;
+  }
+
+  void openBin() {
+    if (binCount_ == bins_.size())
+      bins_.emplace_back(ctx_.net, ctx_.model.mode);
+    ++binCount_;
+  }
+
   bool timeExpired() {
-    if (timedOut_) return true;
-    if ((explored_ & 0xfff) == 0 &&
-        std::chrono::steady_clock::now() > deadline_)
-      timedOut_ = true;
-    return timedOut_;
+    if (aborted_) return true;
+    if ((explored_ & 0xfff) == 0) {
+      if (shared_.timedOut.load(std::memory_order_relaxed)) {
+        aborted_ = true;
+      } else if (Clock::now() > ctx_.deadline) {
+        shared_.timedOut.store(true, std::memory_order_relaxed);
+        aborted_ = true;
+      }
+    }
+    return aborted_;
   }
 
   void dfs(std::size_t idx, int uncovered) {
     ++explored_;
     if (timeExpired()) return;
     const double lowerBound =
-        static_cast<double>(bins_.size()) * minOptionCost_ +
-        model_.preDefinedBlockCost * uncovered;
-    if (lowerBound + kCostSlack >= bestCost_) return;
-    if (idx == inner_.size()) {
+        static_cast<double>(binCount_) * ctx_.minOptionCost +
+        ctx_.model.preDefinedBlockCost * uncovered;
+    if (lowerBound + kCostSlack >= localBest_) return;
+    if (lowerBound >
+        shared_.liveCost.load(std::memory_order_relaxed) + kCostSlack)
+      return;
+    if (idx == ctx_.inner.size()) {
       finish(uncovered);
       return;
     }
-    const BlockId b = inner_[idx];
-    const std::size_t openBins = bins_.size();
+    const BlockId b = ctx_.inner[idx];
+    const std::size_t openBins = binCount_;
     for (std::size_t j = 0; j < openBins; ++j) {
-      bins_[j].set(b);
+      bins_[j].add(b);
       dfs(idx + 1, uncovered);
-      bins_[j].reset(b);
+      bins_[j].remove(b);
     }
     {
-      BitSet bin = net_.emptySet();
-      bin.set(b);
-      bins_.push_back(std::move(bin));
+      openBin();
+      bins_[binCount_ - 1].add(b);
       dfs(idx + 1, uncovered);
-      bins_.pop_back();
+      bins_[binCount_ - 1].remove(b);
+      --binCount_;
     }
     dfs(idx + 1, uncovered + 1);
   }
 
   void finish(int uncovered) {
-    double cost = model_.preDefinedBlockCost * uncovered;
+    double cost = ctx_.model.preDefinedBlockCost * uncovered;
     std::vector<int> chosen;
-    chosen.reserve(bins_.size());
-    for (const BitSet& bin : bins_) {
-      const auto option = cheapestFittingOption(net_, bin, model_);
+    chosen.reserve(binCount_);
+    for (std::size_t j = 0; j < binCount_; ++j) {
+      const auto option = cheapestFittingOption(bins_[j].io(), ctx_.model);
       if (!option) return;  // some bin fits no block type
       chosen.push_back(*option);
-      cost += model_.options[static_cast<std::size_t>(*option)].cost;
+      cost += ctx_.model.options[static_cast<std::size_t>(*option)].cost;
     }
-    if (cost + kCostSlack >= bestCost_) return;
-    bestCost_ = cost;
-    best_.partitions.assign(bins_.begin(), bins_.end());
-    best_.optionIndex = std::move(chosen);
+    if (cost + kCostSlack >= localBest_) return;
+    localBest_ = cost;
+    out_->cost = cost;
+    out_->best.partitions.clear();
+    for (std::size_t j = 0; j < binCount_; ++j)
+      out_->best.partitions.push_back(bins_[j].members());
+    out_->best.optionIndex = std::move(chosen);
+    lowerLive(shared_.liveCost, cost);
   }
 
-  const Network& net_;
-  const ProgCostModel& model_;
-  MultiTypeExhaustiveOptions options_;
-  std::vector<BlockId> inner_;
-  double minOptionCost_ = 0;
-  std::vector<BitSet> bins_;
-  TypedPartitioning best_;
-  double bestCost_ = 0;
+  const MultiContext& ctx_;
+  MultiShared& shared_;
+  std::vector<PortCounter> bins_;  // pool; first binCount_ entries live
+  std::size_t binCount_ = 0;
+  double localBest_ = 0;
+  MultiSubResult* out_ = nullptr;
   std::uint64_t explored_ = 0;
-  bool timedOut_ = false;
-  std::chrono::steady_clock::time_point deadline_;
+  bool aborted_ = false;
+};
+
+/// Enumerates the surviving prefixes of the first `depth` inner blocks in
+/// serial DFS order, pruning only against the deterministic initial bound.
+class MultiPrefixGenerator {
+ public:
+  explicit MultiPrefixGenerator(const MultiContext& ctx) : ctx_(ctx) {}
+
+  std::vector<MultiTask> generate(std::size_t depth,
+                                  std::uint64_t& explored) {
+    depth_ = depth;
+    tasks_.clear();
+    choice_.clear();
+    openBins_ = 0;
+    explored_ = 0;
+    gen(0, 0);
+    explored = explored_;
+    return std::move(tasks_);
+  }
+
+ private:
+  void gen(std::size_t idx, int uncovered) {
+    ++explored_;
+    const double lowerBound =
+        static_cast<double>(openBins_) * ctx_.minOptionCost +
+        ctx_.model.preDefinedBlockCost * uncovered;
+    if (lowerBound + kCostSlack >= ctx_.initialBound) return;
+    if (idx == depth_ || idx == ctx_.inner.size()) {
+      tasks_.push_back(MultiTask{choice_});
+      return;
+    }
+    for (std::size_t j = 0; j < openBins_; ++j) {
+      choice_.push_back(static_cast<std::int16_t>(j));
+      gen(idx + 1, uncovered);
+      choice_.pop_back();
+    }
+    choice_.push_back(static_cast<std::int16_t>(openBins_));
+    ++openBins_;
+    gen(idx + 1, uncovered);
+    --openBins_;
+    choice_.pop_back();
+    choice_.push_back(kUncovered);
+    gen(idx + 1, uncovered + 1);
+    choice_.pop_back();
+  }
+
+  const MultiContext& ctx_;
+  std::size_t depth_ = 0;
+  std::vector<MultiTask> tasks_;
+  std::vector<std::int16_t> choice_;
+  std::size_t openBins_ = 0;
+  std::uint64_t explored_ = 0;
 };
 
 }  // namespace
@@ -254,8 +376,90 @@ class MultiSearch {
 TypedPartitionRun multiTypeExhaustive(
     const Network& net, const ProgCostModel& model,
     const MultiTypeExhaustiveOptions& options) {
-  MultiSearch search(net, model, options);
-  return search.run();
+  TypedPartitionRun out;
+  out.algorithm = "multitype-exhaustive";
+  const auto start = Clock::now();
+
+  MultiContext ctx(net, model, options);
+  const int n = static_cast<int>(ctx.inner.size());
+
+  // Initial incumbent: "replace nothing", improved by a feasible seed.
+  double bestCost = model.preDefinedBlockCost * n;
+  TypedPartitioning best;
+  if (options.seed &&
+      verifyTypedPartitioning(net, model, *options.seed).empty()) {
+    const double c = options.seed->totalCost(n, model);
+    if (c < bestCost) {
+      bestCost = c;
+      best = *options.seed;
+    }
+  }
+  ctx.initialBound = bestCost;
+
+  MultiShared shared;
+  shared.liveCost.store(bestCost, std::memory_order_relaxed);
+
+  const int threads = resolveSearchThreads(options.threads);
+  std::uint64_t explored = 0;
+
+  std::vector<MultiTask> tasks;
+  if (threads > 1 && n >= 2) {
+    MultiPrefixGenerator gen(ctx);
+    const std::size_t target =
+        std::max<std::size_t>(64, static_cast<std::size_t>(threads) * 8);
+    std::uint64_t genExplored = 0;
+    for (std::size_t depth = 1;; ++depth) {
+      tasks = gen.generate(depth, genExplored);
+      if (tasks.size() >= target || depth >= static_cast<std::size_t>(n) ||
+          tasks.size() > 4096)
+        break;
+    }
+    explored += genExplored;
+  } else {
+    tasks.push_back(MultiTask{});
+  }
+
+  std::vector<MultiSubResult> results(tasks.size());
+  const int workerCount =
+      static_cast<int>(std::min<std::size_t>(
+          static_cast<std::size_t>(threads), tasks.size()));
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::uint64_t> totalExplored{0};
+  auto workFn = [&] {
+    MultiWorker worker(ctx, shared);
+    for (;;) {
+      if (shared.timedOut.load(std::memory_order_relaxed)) break;
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= tasks.size()) break;
+      worker.runTask(tasks[i], results[i]);
+    }
+    totalExplored.fetch_add(worker.explored(), std::memory_order_relaxed);
+  };
+  if (workerCount <= 1) {
+    workFn();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(workerCount) - 1);
+    for (int t = 1; t < workerCount; ++t) pool.emplace_back(workFn);
+    workFn();
+    for (std::thread& th : pool) th.join();
+  }
+  explored += totalExplored.load(std::memory_order_relaxed);
+
+  // Deterministic DFS-order reduction (see exhaustive.cpp).
+  for (MultiSubResult& r : results) {
+    if (r.cost + kCostSlack < bestCost) {
+      bestCost = r.cost;
+      best = std::move(r.best);
+    }
+  }
+
+  out.result = std::move(best);
+  out.explored = explored;
+  out.timedOut = shared.timedOut.load(std::memory_order_relaxed);
+  out.optimal = !out.timedOut;
+  out.seconds = std::chrono::duration<double>(Clock::now() - start).count();
+  return out;
 }
 
 std::vector<std::string> verifyTypedPartitioning(

@@ -68,6 +68,11 @@ std::optional<int> cheapestFittingOption(const Network& net,
                                          const BitSet& members,
                                          const ProgCostModel& model);
 
+/// Same, for a port usage already known (e.g. from an incremental
+/// PortCounter) -- O(#options), no rescan of the member set.
+std::optional<int> cheapestFittingOption(const IoCount& io,
+                                         const ProgCostModel& model);
+
 /// PareDown generalized to the cost model.  Pares while *no* option fits;
 /// accepts a candidate when its cheapest fitting option is cheaper than
 /// the pre-defined blocks it replaces, otherwise keeps paring.
@@ -77,6 +82,11 @@ TypedPartitionRun multiTypePareDown(const Network& net,
 struct MultiTypeExhaustiveOptions {
   double timeLimitSeconds = 0.0;
   std::optional<TypedPartitioning> seed;
+  /// Worker threads for the branch-and-bound.  0 = one per hardware
+  /// thread, 1 = the original serial search.  Every thread count returns
+  /// the identical result (deterministic DFS-order tie-break) unless the
+  /// time limit cuts the search short (see exhaustive.h).
+  int threads = 0;
 };
 
 /// Exhaustive branch-and-bound over assignments and option choices.

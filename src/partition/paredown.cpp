@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "partition/port_counter.h"
 #include "partition/validity.h"
 
 namespace eblocks::partition {
@@ -52,44 +53,48 @@ PartitionRun pareDown(const PartitionProblem& problem,
   run.algorithm = "paredown";
 
   BitSet blocks = problem.innerSet();
+  // The candidate's port usage is maintained incrementally: each paring
+  // round removes one block, so the counter update is O(degree) instead of
+  // a full countIo() rescan per decision.
+  PortCounter candidate(net, spec.mode);
   while (blocks.any()) {
-    BitSet candidate = blocks;
+    candidate.assign(blocks);
     bool accepted = false;
     BlockId lastRemoved = kNoBlock;
-    while (candidate.any()) {
+    while (candidate.memberCount() > 0) {
       ++run.explored;
       PareDownStep step;
-      step.io = countIo(net, candidate, spec.mode);
-      step.fits = step.io.inputs <= spec.inputs &&
-                  step.io.outputs <= spec.outputs;
-      if (options.trace) step.candidate = candidate;
+      step.io = candidate.io();
+      step.fits = fits(step.io, spec);
+      if (options.trace) step.candidate = candidate.members();
       if (step.fits) {
-        if (candidate.count() > 1) run.result.partitions.push_back(candidate);
+        if (candidate.memberCount() > 1)
+          run.result.partitions.push_back(candidate.members());
         // A single fitting block is dropped: replacing one pre-defined
         // block with one programmable block brings no reduction.
-        blocks.andNot(candidate);
+        blocks.andNot(candidate.members());
         accepted = true;
         if (options.trace) options.trace(step);
         break;
       }
-      step.border = borderBlocks(net, candidate);
+      step.border = borderBlocks(net, candidate.members());
       step.ranks.reserve(step.border.size());
       for (BlockId b : step.border)
-        step.ranks.push_back(removalRank(net, candidate, b));
+        step.ranks.push_back(removalRank(net, candidate.members(), b));
       if (step.border.empty()) {
         // Cannot happen on DAGs (a maximal-level member is always border),
         // but guard against pathological inputs: abandon this candidate.
-        blocks.andNot(candidate);
+        blocks.andNot(candidate.members());
         if (options.trace) options.trace(step);
         break;
       }
       step.removed =
           chooseRemoval(net, problem.levels(), step.border, step.ranks);
       lastRemoved = step.removed;
-      candidate.reset(step.removed);
+      candidate.remove(step.removed);
       if (options.trace) options.trace(step);
     }
-    if (!accepted && candidate.none()) {
+    if (!accepted && candidate.memberCount() == 0) {
       // The candidate pared away entirely without ever fitting ("partition
       // contains zero blocks").
       if (options.strictFigure4) break;  // Figure 4 literally returns here

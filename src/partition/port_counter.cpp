@@ -1,0 +1,87 @@
+#include "partition/port_counter.h"
+
+namespace eblocks::partition {
+
+void PortCounter::add(BlockId b) {
+  // Classify b's edges against the membership *before* b joins.  An edge
+  // between b and a member stops crossing the boundary; an edge between b
+  // and a non-member starts crossing it.
+  if (mode_ == CountingMode::kEdges) {
+    for (const Connection& c : net_->inputsOf(b)) {
+      if (members_.test(c.from.block))
+        --io_.outputs;  // member -> b: was an output edge, now internal
+      else
+        ++io_.inputs;  // outside -> b: new input edge
+    }
+    for (const Connection& c : net_->outputsOf(b)) {
+      if (members_.test(c.to.block))
+        --io_.inputs;  // b -> member: was an input edge, now internal
+      else
+        ++io_.outputs;  // b -> outside: new output edge
+    }
+  } else {
+    for (const Connection& c : net_->inputsOf(b)) {
+      if (members_.test(c.from.block))
+        decOut(c.from);  // member endpoint fed b from outside the set
+      else
+        incIn(c.from);  // external endpoint now feeds the set
+    }
+    for (const Connection& c : net_->outputsOf(b)) {
+      if (members_.test(c.to.block))
+        decIn(c.from);  // b's endpoint was an external source for the set
+      else
+        incOut(c.from);  // b's endpoint now feeds the outside
+    }
+  }
+  members_.set(b);
+  ++count_;
+}
+
+void PortCounter::remove(BlockId b) {
+  // Exact inverse of add(): classify against the membership *after* b
+  // leaves (networks are DAGs, so b never connects to itself).
+  members_.reset(b);
+  --count_;
+  if (mode_ == CountingMode::kEdges) {
+    for (const Connection& c : net_->inputsOf(b)) {
+      if (members_.test(c.from.block))
+        ++io_.outputs;
+      else
+        --io_.inputs;
+    }
+    for (const Connection& c : net_->outputsOf(b)) {
+      if (members_.test(c.to.block))
+        ++io_.inputs;
+      else
+        --io_.outputs;
+    }
+  } else {
+    for (const Connection& c : net_->inputsOf(b)) {
+      if (members_.test(c.from.block))
+        incOut(c.from);
+      else
+        decIn(c.from);
+    }
+    for (const Connection& c : net_->outputsOf(b)) {
+      if (members_.test(c.to.block))
+        incIn(c.from);
+      else
+        decOut(c.from);
+    }
+  }
+}
+
+void PortCounter::clear() {
+  members_.clear();
+  count_ = 0;
+  io_ = IoCount{};
+  inSrc_.clear();
+  outSrc_.clear();
+}
+
+void PortCounter::assign(const BitSet& members) {
+  clear();
+  members.forEach([&](std::size_t b) { add(static_cast<BlockId>(b)); });
+}
+
+}  // namespace eblocks::partition

@@ -1,0 +1,94 @@
+// The incremental validity kernel: a subgraph's port usage maintained
+// under single-block add/remove in O(degree of the block).
+//
+// Every partitioner probes thousands to millions of candidate subgraphs
+// that differ from their predecessor by one block (PareDown removes one
+// border block per round, aggregation grows by one neighbor, the
+// branch-and-bound searches move one block between bins).  Recomputing
+// countIo() from scratch on each probe costs O(|members| * degree) -- the
+// scalability wall the paper hits at 19+ inner blocks (Table 1).  A
+// PortCounter carries the same IoCount forward incrementally, so a probe
+// costs only the touched block's degree.
+//
+// countIo() in core/subgraph.h remains the independent from-scratch
+// reference; the randomized kernel tests cross-check every incremental
+// state against it.
+#ifndef EBLOCKS_PARTITION_PORT_COUNTER_H_
+#define EBLOCKS_PARTITION_PORT_COUNTER_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "core/bitset.h"
+#include "core/network.h"
+#include "core/subgraph.h"
+
+namespace eblocks::partition {
+
+/// Incrementally maintained I/O usage of a member set.  The network must
+/// outlive the counter.  Not thread-safe; parallel search gives each
+/// worker (and each bin) its own counter.
+class PortCounter {
+ public:
+  PortCounter(const Network& net, CountingMode mode)
+      : net_(&net), mode_(mode), members_(net.blockCount()) {}
+
+  CountingMode mode() const { return mode_; }
+  const BitSet& members() const { return members_; }
+  int memberCount() const { return count_; }
+  bool contains(BlockId b) const { return members_.test(b); }
+
+  /// Current port usage; always equal to
+  /// countIo(net, members(), mode()).
+  const IoCount& io() const { return io_; }
+
+  /// Adds `b` to the set in O(degree(b)).  `b` must not be a member.
+  void add(BlockId b);
+
+  /// Removes `b` from the set in O(degree(b)).  `b` must be a member.
+  void remove(BlockId b);
+
+  /// Empties the set.
+  void clear();
+
+  /// Replaces the set: clear() followed by add() of every member.
+  void assign(const BitSet& members);
+
+ private:
+  // kSignals bookkeeping: reference counts of boundary-crossing edges per
+  // source endpoint.  An endpoint counts toward io_ while its count > 0.
+  static std::uint64_t key(const Endpoint& e) {
+    return (static_cast<std::uint64_t>(e.block) << 16) | e.port;
+  }
+  void incIn(const Endpoint& e) {
+    if (++inSrc_[key(e)] == 1) ++io_.inputs;
+  }
+  void decIn(const Endpoint& e) {
+    auto it = inSrc_.find(key(e));
+    if (--it->second == 0) {
+      inSrc_.erase(it);
+      --io_.inputs;
+    }
+  }
+  void incOut(const Endpoint& e) {
+    if (++outSrc_[key(e)] == 1) ++io_.outputs;
+  }
+  void decOut(const Endpoint& e) {
+    auto it = outSrc_.find(key(e));
+    if (--it->second == 0) {
+      outSrc_.erase(it);
+      --io_.outputs;
+    }
+  }
+
+  const Network* net_;
+  CountingMode mode_;
+  BitSet members_;
+  int count_ = 0;
+  IoCount io_;
+  std::unordered_map<std::uint64_t, int> inSrc_, outSrc_;
+};
+
+}  // namespace eblocks::partition
+
+#endif  // EBLOCKS_PARTITION_PORT_COUNTER_H_

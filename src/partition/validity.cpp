@@ -4,8 +4,10 @@ namespace eblocks::partition {
 
 bool fitsProgrammable(const Network& net, const BitSet& members,
                       const ProgBlockSpec& spec) {
-  const IoCount io = countIo(net, members, spec.mode);
-  return io.inputs <= spec.inputs && io.outputs <= spec.outputs;
+  // One-shot query: the from-scratch count is the right tool.  The
+  // incremental algorithms keep a PortCounter instead and test its io()
+  // with fits() directly.
+  return fits(countIo(net, members, spec.mode), spec);
 }
 
 bool isValidPartition(const PartitionProblem& problem, const BitSet& members,

@@ -7,6 +7,12 @@
 
 namespace eblocks::partition {
 
+/// True when the given port usage fits the programmable block.  The
+/// incremental algorithms test their PortCounter's io() with this.
+inline bool fits(const IoCount& io, const ProgBlockSpec& spec) {
+  return io.inputs <= spec.inputs && io.outputs <= spec.outputs;
+}
+
 /// True when the subgraph's port usage fits the programmable block
 /// (inputs <= spec.inputs and outputs <= spec.outputs, under spec.mode).
 /// Note: a single-node subgraph can fit yet still be an *invalid

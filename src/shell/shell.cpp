@@ -7,6 +7,7 @@
 #include "designs/library.h"
 #include "io/dot.h"
 #include "io/netlist.h"
+#include "partition/engine.h"
 
 namespace eblocks::shell {
 
@@ -25,7 +26,8 @@ constexpr char kHelp[] = R"(commands:
   tick [n]                       advance the timer
   outputs                        print output block values
   probe <block> <var>            read a block variable
-  synth [algorithm] [ins outs]   run synthesis (default paredown 2 2)
+  synth [algo] [ins outs] [thr]  run synthesis (default paredown 2 2)
+  algorithms                     list registered partitioning algorithms
   report                         print the last synthesis report
   use synth|source               choose the network 'sim' runs
   dot                            print the active network as DOT
@@ -119,6 +121,10 @@ bool Shell::execute(const std::string& line, std::ostream& out) {
       cmdProbe(in, out);
     } else if (cmd == "synth") {
       cmdSynth(in, out);
+    } else if (cmd == "algorithms") {
+      const auto& registry = partition::PartitionerRegistry::instance();
+      for (const std::string& name : registry.names())
+        out << "  " << name << "  - " << registry.describe(name) << "\n";
     } else if (cmd == "report") {
       if (synthResult_) {
         out << synthResult_->report();
@@ -257,22 +263,20 @@ void Shell::cmdSynth(std::istream& args, std::ostream& out) {
   synth::SynthOptions options;
   std::string algorithm;
   if (args >> algorithm) {
-    if (algorithm == "paredown") {
-      options.algorithm = synth::Algorithm::kPareDown;
-    } else if (algorithm == "exhaustive") {
-      options.algorithm = synth::Algorithm::kExhaustive;
-    } else if (algorithm == "aggregation") {
-      options.algorithm = synth::Algorithm::kAggregation;
-    } else {
-      out << "error: unknown algorithm '" << algorithm << "'\n";
+    if (!partition::PartitionerRegistry::instance().find(algorithm)) {
+      out << "error: unknown algorithm '" << algorithm
+          << "' (try 'algorithms')\n";
       return;
     }
+    options.algorithm = algorithm;
   }
   int ins = 0, outs = 0;
   if (args >> ins >> outs) {
     options.spec.inputs = ins;
     options.spec.outputs = outs;
   }
+  int threads = 0;
+  if (args >> threads) options.engine.threads = threads;
   synthResult_ = synth::synthesize(source_, options);
   simulator_.reset();
   out << synthResult_->report();

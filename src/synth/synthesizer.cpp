@@ -7,42 +7,10 @@
 #include "behavior/printer.h"
 #include "blocks/catalog.h"
 #include "codegen/c_emitter.h"
-#include "partition/aggregation.h"
-#include "partition/exhaustive.h"
-#include "partition/paredown.h"
+#include "partition/engine.h"
 #include "partition/verify.h"
 
 namespace eblocks::synth {
-
-const char* toString(Algorithm a) {
-  switch (a) {
-    case Algorithm::kPareDown: return "paredown";
-    case Algorithm::kExhaustive: return "exhaustive";
-    case Algorithm::kAggregation: return "aggregation";
-  }
-  return "?";
-}
-
-namespace {
-
-partition::PartitionRun runAlgorithm(const partition::PartitionProblem& problem,
-                                     const SynthOptions& options) {
-  switch (options.algorithm) {
-    case Algorithm::kPareDown:
-      return partition::pareDown(problem);
-    case Algorithm::kAggregation:
-      return partition::aggregation(problem);
-    case Algorithm::kExhaustive: {
-      partition::ExhaustiveOptions ex;
-      ex.timeLimitSeconds = options.exhaustiveTimeLimitSeconds;
-      ex.seed = partition::pareDown(problem).result;
-      return partition::exhaustiveSearch(problem, ex);
-    }
-  }
-  throw std::logic_error("unknown algorithm");
-}
-
-}  // namespace
 
 SynthResult synthesize(const Network& source, const SynthOptions& options) {
   {
@@ -57,7 +25,8 @@ SynthResult synthesize(const Network& source, const SynthOptions& options) {
   partition::PartitionProblem problem(source, options.spec);
   SynthResult result;
   result.originalInner = problem.innerCount();
-  result.run = runAlgorithm(problem, options);
+  result.run =
+      partition::runPartitioner(options.algorithm, problem, options.engine);
 
   {
     const auto violations =

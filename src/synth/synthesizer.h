@@ -10,21 +10,25 @@
 #include <vector>
 
 #include "codegen/merge_program.h"
+#include "partition/engine.h"
 #include "partition/problem.h"
 #include "partition/result.h"
 
 namespace eblocks::synth {
 
-/// Which partitioning algorithm drives the synthesis.
-enum class Algorithm { kPareDown, kExhaustive, kAggregation };
-
-const char* toString(Algorithm a);
-
 struct SynthOptions {
-  partition::ProgBlockSpec spec;           ///< target programmable block
-  Algorithm algorithm = Algorithm::kPareDown;
-  double exhaustiveTimeLimitSeconds = 60;  ///< only for kExhaustive
-  bool emitC = true;                       ///< produce C sources per block
+  partition::ProgBlockSpec spec;  ///< target programmable block
+  /// Registry name of the partitioning algorithm that drives synthesis
+  /// ("paredown", "exhaustive", "aggregation", or any strategy added to
+  /// partition::PartitionerRegistry).  synthesize() throws
+  /// std::invalid_argument for unknown names.
+  std::string algorithm = "paredown";
+  /// Engine knobs forwarded to the selected strategy: time limit, worker
+  /// threads, and the PareDown seeding of exhaustive search (on by
+  /// default, so `algorithm = "exhaustive"` starts its branch-and-bound
+  /// from the heuristic's solution).
+  partition::EngineOptions engine;
+  bool emitC = true;  ///< produce C sources per block
 };
 
 /// One synthesized programmable block.

@@ -57,17 +57,15 @@ TEST(EndToEnd, DotExportOfSynthesizedNetworkShowsProgBlocks) {
 TEST(EndToEnd, AllAlgorithmsProduceEquivalentNetworks) {
   const Network original = randgen::randomNetwork({.innerBlocks = 12,
                                                    .seed = 2024});
-  for (const auto algorithm :
-       {synth::Algorithm::kPareDown, synth::Algorithm::kExhaustive,
-        synth::Algorithm::kAggregation}) {
+  for (const char* algorithm : {"paredown", "exhaustive", "aggregation"}) {
     synth::SynthOptions options;
     options.algorithm = algorithm;
-    options.exhaustiveTimeLimitSeconds = 10;
+    options.engine.timeLimitSeconds = 10;
     const synth::SynthResult r = synth::synthesize(original, options);
     const auto mismatch =
         sim::fuzzEquivalence(original, r.network, 2, 40, 555);
     EXPECT_FALSE(mismatch.has_value())
-        << toString(algorithm) << ": " << mismatch->describe();
+        << algorithm << ": " << mismatch->describe();
   }
 }
 

@@ -65,8 +65,12 @@ TEST(Exhaustive, SeedDoesNotChangeOptimum) {
   const randgen::GeneratorOptions gen{.innerBlocks = 9, .seed = 42};
   const Network net = randgen::randomNetwork(gen);
   const PartitionProblem problem(net, ProgBlockSpec{});
+  // Serial runs: the explored-node comparison below is only deterministic
+  // without worker scheduling in play.
   ExhaustiveOptions unseeded;
+  unseeded.threads = 1;
   ExhaustiveOptions seeded;
+  seeded.threads = 1;
   seeded.seed = pareDown(problem).result;
   const PartitionRun a = exhaustiveSearch(problem, unseeded);
   const PartitionRun b = exhaustiveSearch(problem, seeded);
@@ -141,7 +145,9 @@ TEST(Exhaustive, ExploredCounterGrowsWithProblemSize) {
     const randgen::GeneratorOptions gen{.innerBlocks = n, .seed = 5};
     const Network net = randgen::randomNetwork(gen);
     const PartitionProblem problem(net, ProgBlockSpec{});
-    const PartitionRun run = exhaustiveSearch(problem);
+    ExhaustiveOptions serial;
+    serial.threads = 1;  // deterministic node counts
+    const PartitionRun run = exhaustiveSearch(problem, serial);
     EXPECT_GT(run.explored, prev);
     prev = run.explored;
   }

@@ -1,0 +1,147 @@
+// The incremental validity kernel must agree with the from-scratch
+// countIo() reference after every single add/remove, in both counting
+// modes, on reproducible random networks.
+#include "partition/port_counter.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "blocks/catalog.h"
+#include "designs/library.h"
+#include "randgen/generator.h"
+
+namespace eblocks::partition {
+namespace {
+
+using blocks::defaultCatalog;
+
+void expectMatchesReference(const Network& net, const PortCounter& counter,
+                            const BitSet& reference, CountingMode mode,
+                            int step) {
+  const IoCount expected = countIo(net, reference, mode);
+  EXPECT_EQ(counter.io().inputs, expected.inputs)
+      << toString(mode) << " inputs diverged at step " << step;
+  EXPECT_EQ(counter.io().outputs, expected.outputs)
+      << toString(mode) << " outputs diverged at step " << step;
+  EXPECT_EQ(counter.members(), reference);
+  EXPECT_EQ(counter.memberCount(), static_cast<int>(reference.count()));
+}
+
+class PortCounterModes : public ::testing::TestWithParam<CountingMode> {};
+
+TEST_P(PortCounterModes, RandomizedAddRemoveMatchesFromScratchCount) {
+  const CountingMode mode = GetParam();
+  for (const std::uint32_t netSeed : {11u, 12u, 13u, 14u, 15u}) {
+    const Network net = randgen::randomNetwork(
+        {.innerBlocks = 14, .seed = netSeed});
+    const std::vector<BlockId> inner = net.innerBlocks();
+    PortCounter counter(net, mode);
+    BitSet reference = net.emptySet();
+    std::mt19937 rng(netSeed * 7919);
+    std::uniform_int_distribution<std::size_t> pick(0, inner.size() - 1);
+    for (int step = 0; step < 400; ++step) {
+      const BlockId b = inner[pick(rng)];
+      if (counter.contains(b)) {
+        counter.remove(b);
+        reference.reset(b);
+      } else {
+        counter.add(b);
+        reference.set(b);
+      }
+      expectMatchesReference(net, counter, reference, mode, step);
+    }
+  }
+}
+
+TEST_P(PortCounterModes, AssignMatchesIncrementalBuild) {
+  const CountingMode mode = GetParam();
+  const Network net = randgen::randomNetwork({.innerBlocks = 18, .seed = 42});
+  std::mt19937 rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    BitSet subset = net.emptySet();
+    for (BlockId b : net.innerBlocks())
+      if (rng() % 2) subset.set(b);
+    PortCounter counter(net, mode);
+    counter.assign(subset);
+    expectMatchesReference(net, counter, subset, mode, trial);
+  }
+}
+
+TEST_P(PortCounterModes, ClearResetsEverything) {
+  const CountingMode mode = GetParam();
+  const Network net = designs::figure5();
+  PortCounter counter(net, mode);
+  counter.assign(net.innerSet());
+  counter.clear();
+  EXPECT_EQ(counter.memberCount(), 0);
+  EXPECT_EQ(counter.io().inputs, 0);
+  EXPECT_EQ(counter.io().outputs, 0);
+  EXPECT_TRUE(counter.members().none());
+  // Reusable after clear().
+  counter.add(1);
+  expectMatchesReference(net, counter, [&] {
+    BitSet s = net.emptySet();
+    s.set(1);
+    return s;
+  }(), mode, 0);
+}
+
+TEST_P(PortCounterModes, AddThenRemoveIsIdentity) {
+  const CountingMode mode = GetParam();
+  const Network net = randgen::randomNetwork({.innerBlocks = 10, .seed = 7});
+  PortCounter counter(net, mode);
+  BitSet base = net.emptySet();
+  const std::vector<BlockId> inner = net.innerBlocks();
+  for (std::size_t i = 0; i < inner.size(); i += 2) {
+    counter.add(inner[i]);
+    base.set(inner[i]);
+  }
+  const IoCount before = counter.io();
+  for (std::size_t i = 1; i < inner.size(); i += 2) {
+    counter.add(inner[i]);
+    counter.remove(inner[i]);
+  }
+  EXPECT_EQ(counter.io().inputs, before.inputs);
+  EXPECT_EQ(counter.io().outputs, before.outputs);
+  EXPECT_EQ(counter.members(), base);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothModes, PortCounterModes,
+                         ::testing::Values(CountingMode::kEdges,
+                                           CountingMode::kSignals),
+                         [](const auto& paramInfo) {
+                           return std::string(toString(paramInfo.param));
+                         });
+
+TEST(PortCounter, SignalsModeSharesFanoutPorts) {
+  // One inner block driving two external consumers from one output port
+  // must count a single output signal but two output edges.
+  const auto& cat = defaultCatalog();
+  Network net;
+  const BlockId s = net.addBlock("s", cat.button());
+  const BlockId a = net.addBlock("a", cat.inverter());
+  const BlockId b = net.addBlock("b", cat.inverter());
+  const BlockId o1 = net.addBlock("o1", cat.led());
+  const BlockId o2 = net.addBlock("o2", cat.led());
+  net.connect(s, 0, a, 0);
+  net.connect(a, 0, b, 0);
+  net.connect(b, 0, o1, 0);
+  net.connect(b, 0, o2, 0);
+
+  PortCounter edges(net, CountingMode::kEdges);
+  edges.add(a);
+  edges.add(b);
+  EXPECT_EQ(edges.io().inputs, 1);
+  EXPECT_EQ(edges.io().outputs, 2);
+
+  PortCounter signals(net, CountingMode::kSignals);
+  signals.add(a);
+  signals.add(b);
+  EXPECT_EQ(signals.io().inputs, 1);
+  EXPECT_EQ(signals.io().outputs, 1);
+}
+
+}  // namespace
+}  // namespace eblocks::partition

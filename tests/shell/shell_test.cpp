@@ -115,6 +115,22 @@ TEST(Shell, ErrorsAreReportedNotThrown) {
   EXPECT_NE(exec(shell, "synth bogus").find("error"), std::string::npos);
 }
 
+TEST(Shell, AlgorithmsListsRegistry) {
+  Shell shell;
+  const std::string out = exec(shell, "algorithms");
+  EXPECT_NE(out.find("paredown"), std::string::npos);
+  EXPECT_NE(out.find("exhaustive"), std::string::npos);
+  EXPECT_NE(out.find("aggregation"), std::string::npos);
+}
+
+TEST(Shell, SynthByRegistryNameWithThreads) {
+  Shell shell;
+  exec(shell, "design Podium Timer 3");
+  const std::string out = exec(shell, "synth exhaustive 2 2 2");
+  EXPECT_NE(out.find("exhaustive"), std::string::npos) << out;
+  EXPECT_NE(out.find("8 -> 3"), std::string::npos) << out;
+}
+
 TEST(Shell, QuitStopsExecution) {
   Shell shell;
   std::ostringstream out;

@@ -40,16 +40,14 @@ class LibraryEquivalence
 
 TEST_P(LibraryEquivalence, FuzzedStimuli) {
   const Network original = designs::byName(GetParam());
-  for (const Algorithm algorithm :
-       {Algorithm::kPareDown, Algorithm::kAggregation}) {
+  for (const char* algorithm : {"paredown", "aggregation"}) {
     SynthOptions options;
     options.algorithm = algorithm;
     const SynthResult r = synthesize(original, options);
     const auto mismatch =
         sim::fuzzEquivalence(original, r.network, 3, 60, 0xE81);
     EXPECT_FALSE(mismatch.has_value())
-        << GetParam() << " [" << toString(algorithm)
-        << "]: " << mismatch->describe();
+        << GetParam() << " [" << algorithm << "]: " << mismatch->describe();
   }
 }
 

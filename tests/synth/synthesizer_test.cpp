@@ -63,7 +63,7 @@ TEST(Synthesizer, EmitCOptOut) {
 
 TEST(Synthesizer, ExhaustiveAlgorithmSelectable) {
   SynthOptions options;
-  options.algorithm = Algorithm::kExhaustive;
+  options.algorithm = "exhaustive";
   const SynthResult r = synthesize(designs::figure5(), options);
   EXPECT_EQ(r.run.algorithm, "exhaustive");
   EXPECT_EQ(r.innerAfter, 3);
@@ -71,11 +71,24 @@ TEST(Synthesizer, ExhaustiveAlgorithmSelectable) {
 
 TEST(Synthesizer, AggregationAlgorithmSelectable) {
   SynthOptions options;
-  options.algorithm = Algorithm::kAggregation;
+  options.algorithm = "aggregation";
   const SynthResult r = synthesize(designs::figure5(), options);
   EXPECT_EQ(r.run.algorithm, "aggregation");
   // Aggregation may be worse but must stay valid.
   EXPECT_TRUE(r.network.validate().empty());
+}
+
+TEST(Synthesizer, UnknownAlgorithmThrowsWithRegistryNames) {
+  SynthOptions options;
+  options.algorithm = "simulated-annealing";
+  try {
+    synthesize(designs::figure5(), options);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("simulated-annealing"), std::string::npos);
+    EXPECT_NE(what.find("paredown"), std::string::npos);
+  }
 }
 
 TEST(Synthesizer, RejectsMalformedSource) {
