@@ -1,22 +1,178 @@
 // Serial vs parallel branch-and-bound on the seeded random designs: wall
-// time, explored nodes, and the (identical) optimum cost at each size.
+// time, explored nodes, and the (identical) optimum cost at each size --
+// plus a scheduler face-off (work-stealing vs fixed-depth split) on an
+// unbalanced hub-and-spoke tree.
 //
-// The parallel search splits the tree into a work queue of subtrees and
-// shares the incumbent bound through an atomic, with a DFS-order
-// tie-break that keeps the result bit-identical to the serial search.
-// Speedup therefore comes purely from wall-clock parallelism; the bench
-// prints both times plus node counts so runs on different machines stay
-// comparable.  On a multi-core host expect >= 2x at 4 threads on the
-// largest sizes; on a single hardware thread both columns converge.
+// Both schedulers share the incumbent bound through an atomic and carry
+// the DFS-ordinal tie-break, so every *completed* run is bit-identical
+// to the serial search; the bench asserts that on every run (non-zero
+// exit on mismatch).  Speedup therefore comes purely from wall-clock
+// parallelism; the bench prints both times plus node counts so runs on
+// different machines stay comparable.  On a multi-core host expect
+// >= 2x at 4 threads on the largest sizes; on a single hardware thread
+// both columns converge.
+//
+// The unbalanced workload is where the schedulers separate: an unseeded
+// deep tree whose strong incumbents live far from the serial DFS
+// frontier.  The fixed split drains its task list in DFS order, so all
+// workers cluster at the head of the list and inherit the serial
+// order's pathology -- node counts stay near serial.  Work-stealing
+// keeps worker 0 on the serial frontier but hands thieves the *front*
+// of a victim's deque, i.e. the subtrees farthest from it, so some
+// worker reaches the incumbent region early and the published bound
+// collapses the rest of the tree.  The bench requires work-stealing to
+// complete no slower than fixed-split (with noise tolerance) -- on this
+// workload it typically finishes in a fraction of fixed-split's time
+// and node count.
 //
 // Usage: bench_parallel_speedup [max-inner] [per-size] [threads] [limit-s]
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 
+#include "blocks/catalog.h"
 #include "partition/exhaustive.h"
 #include "partition/multitype.h"
 #include "partition/paredown.h"
 #include "randgen/generator.h"
+
+namespace {
+
+using namespace eblocks;
+
+/// max/mean of the per-worker explored-node counts: the
+/// hardware-independent witness of load balance (1.0 = perfect).
+double imbalance(const std::vector<std::uint64_t>& perWorker) {
+  if (perWorker.empty()) return 1.0;
+  std::uint64_t mx = 0, sum = 0;
+  for (const std::uint64_t v : perWorker) {
+    mx = std::max(mx, v);
+    sum += v;
+  }
+  const double mean =
+      static_cast<double>(sum) / static_cast<double>(perWorker.size());
+  return mean > 0 ? static_cast<double>(mx) / mean : 1.0;
+}
+
+bool identicalRuns(const partition::PartitionRun& a,
+                   const partition::PartitionRun& b, int inner) {
+  if (a.result.totalAfter(inner) != b.result.totalAfter(inner) ||
+      a.result.partitions.size() != b.result.partitions.size())
+    return false;
+  for (std::size_t i = 0; i < a.result.partitions.size(); ++i)
+    if (a.result.partitions[i].toVector() != b.result.partitions[i].toVector())
+      return false;
+  return true;
+}
+
+/// The unbalanced-tree workload: one 3-input hub placed first in DFS
+/// order, fed by three input chains and feeding two output chains.  With
+/// no seed the initial bound is the weak "replace nothing" incumbent, so
+/// pruning depends entirely on incumbents discovered during the search.
+Network hubAndSpoke(int chainLen) {
+  const auto& cat = blocks::defaultCatalog();
+  Network net("hub_spoke_" + std::to_string(chainLen));
+  const BlockId hub = net.addBlock("hub", cat.or3());
+  int id = 0;
+  for (int c = 0; c < 3; ++c) {
+    BlockId prev = net.addBlock("s" + std::to_string(c), cat.button());
+    for (int i = 0; i < chainLen; ++i) {
+      const BlockId b = net.addBlock("c" + std::to_string(id++),
+                                     cat.inverter());
+      net.connect(prev, 0, b, 0);
+      prev = b;
+    }
+    net.connect(prev, 0, hub, c);
+  }
+  for (int c = 0; c < 2; ++c) {
+    BlockId prev = hub;
+    for (int i = 0; i < chainLen; ++i) {
+      const BlockId b = net.addBlock("d" + std::to_string(id++),
+                                     cat.inverter());
+      net.connect(prev, 0, b, 0);
+      prev = b;
+    }
+    net.connect(prev, 0,
+                net.addBlock("led" + std::to_string(c), cat.led()), 0);
+  }
+  return net;
+}
+
+/// Serial vs both schedulers on the hub-and-spoke tree.  Returns false
+/// when a completed run diverges from serial or work-stealing falls
+/// behind fixed-split beyond the noise tolerance.
+bool unbalancedFaceOff(int threads, double limit) {
+  const Network net = hubAndSpoke(2);
+  const int n = static_cast<int>(net.innerBlocks().size());
+  const partition::PartitionProblem problem(net, {});
+
+  partition::ExhaustiveOptions base;
+  base.timeLimitSeconds = limit;  // no seed: the bound must be discovered
+
+  partition::ExhaustiveOptions serialOptions = base;
+  serialOptions.threads = 1;
+  const auto serial = partition::exhaustiveSearch(problem, serialOptions);
+
+  partition::ExhaustiveOptions fixedOptions = base;
+  fixedOptions.threads = threads;
+  fixedOptions.scheduler = partition::SearchScheduler::kFixedSplit;
+  const auto fixed = partition::exhaustiveSearch(problem, fixedOptions);
+
+  partition::ExhaustiveOptions stealOptions = base;
+  stealOptions.threads = threads;
+  stealOptions.scheduler = partition::SearchScheduler::kWorkStealing;
+  const auto steal = partition::exhaustiveSearch(problem, stealOptions);
+
+  std::printf("\nUnbalanced hub-and-spoke tree (%d inner, unseeded, "
+              "%d threads, limit %.0fs)\n", n, threads, limit);
+  const auto row = [&](const char* label,
+                       const partition::PartitionRun& run) {
+    std::printf("  %-13s %8.3fs %14llu nodes  cost %2d  imbalance %.2f%s\n",
+                label, run.seconds,
+                static_cast<unsigned long long>(run.explored),
+                run.result.totalAfter(n), imbalance(run.workerExplored),
+                run.timedOut ? "  DID NOT FINISH" : "");
+  };
+  row("serial", serial);
+  row("fixed-split", fixed);
+  row("work-stealing", steal);
+
+  if (serial.timedOut) {
+    std::printf("  serial hit the limit; raise [limit-s] to compare "
+                "schedulers here\n");
+    return true;
+  }
+  bool ok = true;
+  if (steal.timedOut) {
+    std::printf("  ERROR: work-stealing hit the limit on a workload "
+                "serial completed\n");
+    ok = false;
+  } else if (!identicalRuns(serial, steal, n)) {
+    std::printf("  ERROR: work-stealing diverged from serial\n");
+    ok = false;
+  }
+  if (!fixed.timedOut && !identicalRuns(serial, fixed, n)) {
+    std::printf("  ERROR: fixed-split diverged from serial\n");
+    ok = false;
+  }
+  // Throughput: completion time, counting a DNF as the full limit (a
+  // lower bound on its true cost).  Work-stealing wins this workload by
+  // 4-7x, so the generous tolerance still catches a real regression
+  // while OS scheduling noise on a contended CI runner cannot red the
+  // build.
+  const double fixedTime = fixed.timedOut ? limit : fixed.seconds;
+  if (steal.seconds > fixedTime * 1.5 + 0.25) {
+    std::printf("  ERROR: work-stealing slower than fixed-split beyond "
+                "tolerance\n");
+    ok = false;
+  }
+  std::printf("  work-stealing vs fixed-split: %.2fx\n",
+              steal.seconds > 0 ? fixedTime / steal.seconds : 0.0);
+  return ok;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace eblocks;
@@ -27,7 +183,7 @@ int main(int argc, char** argv) {
   const double limit = argc > 4 ? std::atof(argv[4]) : 60.0;
 
   std::printf("Parallel branch-and-bound speedup (PareDown-seeded "
-              "exhaustive search)\n");
+              "exhaustive search, work-stealing scheduler)\n");
   std::printf("per size: %d random designs, %d worker threads vs serial, "
               "limit %.0fs each\n\n", perSize, threads, limit);
   std::printf("%5s | %12s %12s %8s | %14s %14s | %6s %4s\n", "Inner",
@@ -64,15 +220,7 @@ int main(int argc, char** argv) {
       serialNodes += static_cast<double>(serial.explored);
       parallelNodes += static_cast<double>(parallel.explored);
       cost = parallel.result.totalAfter(n);
-      if (serial.result.totalAfter(n) != parallel.result.totalAfter(n) ||
-          serial.result.partitions.size() !=
-              parallel.result.partitions.size())
-        identical = false;
-      else
-        for (std::size_t i = 0; i < serial.result.partitions.size(); ++i)
-          if (serial.result.partitions[i].toVector() !=
-              parallel.result.partitions[i].toVector())
-            identical = false;
+      identical = identical && identicalRuns(serial, parallel, n);
     }
     allIdentical = allIdentical && identical;
     std::printf("%5d | %12.4f %12.4f %7.2fx | %14.0f %14.0f | %6d %4s\n", n,
@@ -111,7 +259,9 @@ int main(int argc, char** argv) {
                 parallel.result.totalCost(n, model), same ? "yes" : "NO");
   }
 
-  std::printf("\nall results identical to serial: %s\n",
-              allIdentical ? "yes" : "NO");
+  allIdentical = unbalancedFaceOff(threads, limit) && allIdentical;
+
+  std::printf("\nall results identical to serial (and work-stealing >= "
+              "fixed-split): %s\n", allIdentical ? "yes" : "NO");
   return allIdentical ? 0 : 1;
 }

@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Doc-drift check: the command tables embedded in the docs must match the
+# live shell output, byte for byte.
+#
+# Docs opt in with a marker comment immediately before a fenced code
+# block:
+#
+#   <!-- doc-drift:help -->        the shell's `help` output
+#   <!-- doc-drift:algorithms -->  the shell's `algorithms` output
+#
+# The script replays the command through the shell REPL and diffs the
+# fenced block against the live output; any mismatch fails (non-zero
+# exit), so renaming a command, adding an algorithm, or editing a
+# description without updating the docs breaks CI.
+#
+# Usage: scripts/check_doc_drift.sh <path-to-example_shell_repl> [repo-root]
+set -euo pipefail
+
+repl=${1:?usage: check_doc_drift.sh <example_shell_repl> [repo-root]}
+root=${2:-$(cd "$(dirname "$0")/.." && pwd)}
+
+if [[ ! -x "$repl" ]]; then
+  echo "doc-drift: shell binary '$repl' not found or not executable" >&2
+  exit 2
+fi
+
+# Runs one shell command and prints its output (banner stripped).
+live_output() {
+  printf '%s\nquit\n' "$1" | "$repl" | grep -v '^eblocks shell'
+}
+
+# Prints the fenced code block that follows "<!-- doc-drift:NAME -->".
+doc_block() { # file marker
+  awk -v marker="<!-- doc-drift:$2 -->" '
+    $0 ~ marker { seen = 1; next }
+    seen && /^```/ { if (inblock) exit; inblock = 1; next }
+    inblock { print }
+  ' "$1"
+}
+
+fail=0
+check() { # file marker command
+  local file="$1" marker="$2" command="$3"
+  if ! grep -q "<!-- doc-drift:$marker -->" "$file"; then
+    echo "doc-drift: marker '$marker' missing from $file" >&2
+    fail=1
+    return
+  fi
+  if ! diff -u --label "$file ($marker)" --label "shell '$command' output" \
+      <(doc_block "$file" "$marker") <(live_output "$command"); then
+    echo "doc-drift: $file block '$marker' is stale" >&2
+    fail=1
+  fi
+}
+
+check "$root/docs/pipeline.md" help help
+check "$root/docs/partitioning.md" algorithms algorithms
+
+if [[ $fail -ne 0 ]]; then
+  echo "doc-drift: FAILED -- update the fenced blocks to match the shell" >&2
+  exit 1
+fi
+echo "doc-drift: docs match the live shell output"

@@ -1,9 +1,20 @@
 #include "core/subgraph.h"
 
 #include <algorithm>
+#include <atomic>
 #include <set>
 
 namespace eblocks {
+
+namespace {
+std::atomic<std::uint64_t> borderScanCount{0};
+std::atomic<std::uint64_t> rankScanCount{0};
+}  // namespace
+
+SubgraphScanCounts subgraphScanCounts() {
+  return {borderScanCount.load(std::memory_order_relaxed),
+          rankScanCount.load(std::memory_order_relaxed)};
+}
 
 const char* toString(CountingMode m) {
   switch (m) {
@@ -54,6 +65,7 @@ bool isBorderBlock(const Network& net, const BitSet& members, BlockId b) {
 }
 
 std::vector<BlockId> borderBlocks(const Network& net, const BitSet& members) {
+  borderScanCount.fetch_add(1, std::memory_order_relaxed);
   std::vector<BlockId> out;
   members.forEach([&](std::size_t bi) {
     const BlockId b = static_cast<BlockId>(bi);
@@ -63,6 +75,7 @@ std::vector<BlockId> borderBlocks(const Network& net, const BitSet& members) {
 }
 
 int removalRank(const Network& net, const BitSet& members, BlockId b) {
+  rankScanCount.fetch_add(1, std::memory_order_relaxed);
   // Connections between b and the rest of the partition become part of the
   // cut when b is removed (+1 each); connections between b and the outside
   // leave the cut (-1 each).

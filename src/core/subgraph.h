@@ -4,6 +4,7 @@
 #ifndef EBLOCKS_CORE_SUBGRAPH_H_
 #define EBLOCKS_CORE_SUBGRAPH_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "core/bitset.h"
@@ -53,6 +54,18 @@ int removalRank(const Network& net, const BitSet& members, BlockId b);
 /// Convex subgraphs can be replaced by a single block without creating a
 /// combinational dependency through the outside.
 bool isConvex(const Network& net, const BitSet& members);
+
+/// Process-wide tallies of the full-scan subgraph queries above.  The
+/// incremental partitioners maintain the same quantities through
+/// partition::PortCounter and must not fall back to these rescans on
+/// their hot paths; the randomized partition tests snapshot the counts
+/// around a run and assert they stay flat.  Counting is a relaxed atomic
+/// increment per call -- negligible next to the scans themselves.
+struct SubgraphScanCounts {
+  std::uint64_t borderScans = 0;  ///< borderBlocks() calls
+  std::uint64_t rankScans = 0;    ///< removalRank() calls
+};
+SubgraphScanCounts subgraphScanCounts();
 
 }  // namespace eblocks
 

@@ -41,7 +41,8 @@ class ExhaustiveStrategy final : public Partitioner {
  public:
   std::string name() const override { return "exhaustive"; }
   std::string description() const override {
-    return "optimal parallel branch-and-bound (Section 4.1), PareDown-seeded";
+    return "optimal work-stealing branch-and-bound (Section 4.1), "
+           "PareDown-seeded";
   }
   PartitionRun run(const PartitionProblem& problem,
                    const EngineOptions& options) const override {
@@ -49,6 +50,7 @@ class ExhaustiveStrategy final : public Partitioner {
     ex.timeLimitSeconds = options.timeLimitSeconds;
     ex.requireConvex = options.requireConvex;
     ex.threads = options.threads;
+    ex.scheduler = options.scheduler;
     if (options.seedFromPareDown) ex.seed = pareDown(problem).result;
     return exhaustiveSearch(problem, ex);
   }
@@ -70,13 +72,15 @@ class MultiTypeExhaustiveStrategy final : public TypedPartitioner {
  public:
   std::string name() const override { return "exhaustive"; }
   std::string description() const override {
-    return "optimal parallel branch-and-bound over types and assignments";
+    return "optimal work-stealing branch-and-bound over types and "
+           "assignments";
   }
   TypedPartitionRun run(const Network& net, const ProgCostModel& model,
                         const EngineOptions& options) const override {
     MultiTypeExhaustiveOptions ex;
     ex.timeLimitSeconds = options.timeLimitSeconds;
     ex.threads = options.threads;
+    ex.scheduler = options.scheduler;
     if (options.seedFromPareDown)
       ex.seed = multiTypePareDown(net, model).result;
     return multiTypeExhaustive(net, model, ex);

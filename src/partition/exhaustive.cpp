@@ -5,11 +5,15 @@
 #include <chrono>
 #include <cstdint>
 #include <limits>
+#include <memory>
+#include <optional>
 #include <thread>
+#include <tuple>
 #include <vector>
 
 #include "partition/port_counter.h"
 #include "partition/validity.h"
+#include "partition/work_steal.h"
 
 namespace eblocks::partition {
 
@@ -17,7 +21,6 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
-constexpr int kNoCost = std::numeric_limits<int>::max();
 constexpr std::int16_t kUncovered = -1;
 
 Clock::time_point deadlineFor(double seconds) {
@@ -61,30 +64,36 @@ struct SearchContext {
 };
 
 /// One unit of parallel work: the assignment of the first `choice.size()`
-/// inner blocks.  choice[i] is kUncovered, a bin index, or the number of
-/// bins open so far (meaning "open a new bin").  Tasks are generated in
-/// serial DFS order, which is what makes the final tie-break well-defined.
+/// inner blocks (kUncovered, a bin index, or the number of bins open so
+/// far meaning "open a new bin"), plus the half-open DFS-ordinal range
+/// [ordLo, ordHi) owned by the subtree.
+///
+/// Ordinals realize the deterministic tie-break: the serial DFS visits
+/// subtrees in ordinal order, every leaf reached inside a task carries an
+/// ordinal from the task's range, and ranges of distinct tasks are
+/// disjoint -- so "earlier in serial DFS order" is exactly "smaller
+/// ordinal", no matter which worker runs the subtree or when.  When a
+/// range becomes too narrow to subdivide, the whole remaining subtree
+/// shares ordLo and runs inline on one worker, whose in-order DFS settles
+/// the remaining ties.
 struct Task {
   std::vector<std::int16_t> choice;
+  std::uint32_t ordLo = 1;
+  std::uint32_t ordHi = std::numeric_limits<std::uint32_t>::max();
 };
 
 /// Mutable state shared across workers.
 ///
 /// The incumbent is a packed (cost, DFS-ordinal) pair: ordinal 0 is the
-/// initial seed/baseline incumbent and task i publishes ordinal i+1.  A
-/// node in task i prunes iff ((costSoFar << 32) | i+1) >= liveKey, which
-/// is exactly the lexicographic rule "worse cost, or equal cost but not
-/// earlier in serial DFS order".  This keeps the subtree containing the
-/// serial winner alive while still pruning equal-cost subtrees behind it,
-/// so the parallel result is bit-identical to the serial one.
+/// initial seed/baseline incumbent.  A node with ordinal o prunes iff
+/// ((costSoFar << 32) | o) >= liveKey, which is exactly the
+/// lexicographic rule "worse cost, or equal cost but not earlier in
+/// serial DFS order".  This keeps the subtree containing the serial
+/// winner alive while still pruning equal-cost subtrees behind it, so
+/// the parallel result is bit-identical to the serial one.
 struct SharedState {
   std::atomic<std::uint64_t> liveKey{0};
   std::atomic<bool> timedOut{false};
-};
-
-struct SubResult {
-  int cost = kNoCost;
-  Partitioning best;
 };
 
 std::uint64_t packKey(int cost, std::uint32_t ordinal) {
@@ -93,20 +102,27 @@ std::uint64_t packKey(int cost, std::uint32_t ordinal) {
          ordinal;
 }
 
-/// Depth-first branch-and-bound below one task's prefix.  One instance per
-/// worker thread; reused across tasks.
+/// Depth-first branch-and-bound below one task's prefix.  One instance
+/// per worker thread; reused across tasks.  Accumulates the worker's best
+/// solution as a packed (cost, ordinal) key plus partitioning; the final
+/// reduction takes the smallest key over all workers.
 class Worker {
  public:
-  Worker(const SearchContext& ctx, SharedState& shared)
-      : ctx_(ctx), shared_(shared) {
+  Worker(const SearchContext& ctx, SharedState& shared,
+         detail::WorkStealingPool<Task>* pool, int workerId)
+      : ctx_(ctx),
+        shared_(shared),
+        pool_(pool),
+        workerId_(workerId),
+        bestKey_(packKey(ctx.initialBound, 0)) {
     bins_.reserve(ctx.inner.size() + 1);
+    choice_.reserve(ctx.inner.size());
   }
 
-  void runTask(const Task& task, std::uint32_t ordinal, SubResult& out) {
-    myOrdinal_ = ordinal;
-    out_ = &out;
+  void runTask(const Task& task) {
     localBest_ = ctx_.initialBound;
     resetBins();
+    choice_ = task.choice;
     int uncovered = 0;
     for (std::size_t i = 0; i < task.choice.size(); ++i) {
       const std::int16_t c = task.choice[i];
@@ -117,10 +133,12 @@ class Worker {
       if (static_cast<std::size_t>(c) == binCount_) openBin();
       addToBin(static_cast<std::size_t>(c), ctx_.inner[i]);
     }
-    dfs(task.choice.size(), uncovered);
+    dfs(task.choice.size(), uncovered, task.ordLo, task.ordHi);
   }
 
   std::uint64_t explored() const { return explored_; }
+  std::uint64_t bestKey() const { return bestKey_; }
+  Partitioning takeBest() { return std::move(best_); }
 
  private:
   struct Bin {
@@ -164,6 +182,12 @@ class Worker {
                 ctx_.problem.spec().outputs);
   }
 
+  bool canOpenNewBin(BlockId b) const {
+    return !(ctx_.edgesMode &&
+             (ctx_.fixedIn[b] > ctx_.problem.spec().inputs ||
+              ctx_.fixedOut[b] > ctx_.problem.spec().outputs));
+  }
+
   bool timeExpired() {
     if (aborted_) return true;
     if ((explored_ & 0xfff) == 0) {
@@ -177,49 +201,91 @@ class Worker {
     return aborted_;
   }
 
-  bool boundPrunes(int costSoFar) const {
+  bool boundPrunes(int costSoFar, std::uint32_t lo) const {
     if (costSoFar >= localBest_) return true;
-    return packKey(costSoFar, myOrdinal_) >=
+    return packKey(costSoFar, lo) >=
            shared_.liveKey.load(std::memory_order_relaxed);
   }
 
-  void dfs(std::size_t idx, int uncovered) {
+  void dfs(std::size_t idx, int uncovered, std::uint32_t lo,
+           std::uint32_t hi) {
     ++explored_;
     if (timeExpired()) return;
     // Lower bound on the final cost: every open bin stays a bin, every
     // uncovered block stays uncovered.
     const int costSoFar = static_cast<int>(binCount_) + uncovered;
-    if (boundPrunes(costSoFar)) return;
+    if (boundPrunes(costSoFar, lo)) return;
     if (idx == ctx_.inner.size()) {
-      finish(uncovered);
+      finish(uncovered, lo);
       return;
     }
     const BlockId b = ctx_.inner[idx];
-    // Choice 1: join an existing bin (indexed access: openBin() may grow
-    // the pool vector during recursion).
+    // Children, in serial DFS order: join each feasible open bin, open a
+    // new bin (all empty bins are interchangeable, so a single branch
+    // suffices -- the paper's symmetry pruning), leave uncovered.
     const std::size_t openBins = binCount_;
+    const bool newBin = canOpenNewBin(b);
+    // Ordinal ranges are split only where a child could be offloaded
+    // (parallel pool present, subtree above the leaf margin): everywhere
+    // else -- the serial and fixed-split modes, and the leaf region that
+    // dominates node counts -- children inherit [lo, hi) wholesale and
+    // the within-task DFS order settles ties, sparing the hot path the
+    // child-count scan and the split arithmetic.
+    std::optional<detail::RangeSplitter> ranges;
+    if (pool_ != nullptr && ctx_.inner.size() - idx > detail::kLeafMargin) {
+      std::size_t k = 1;  // "leave uncovered" is always a child
+      for (std::size_t j = 0; j < openBins; ++j)
+        if (!fixedOverflow(j, b)) ++k;
+      if (newBin) ++k;
+      ranges.emplace(lo, hi, k);
+    }
+    // A child subtree is offloaded to the pool instead of recursed into
+    // when peers are starved -- except the first child, which this worker
+    // always walks itself (guaranteed progress, and the earliest ordinals
+    // stay on the worker that already holds the bins).
+    const bool offloadable = ranges && ranges->offloadable();
+    bool firstChild = true;
+    // Visits child `c` with its ordinal slice: either inline (apply the
+    // choice, recurse, undo) or as a pushed task.
+    const auto visit = [&](std::int16_t c, int childUncovered,
+                           auto&& apply, auto&& undo) {
+      std::uint32_t clo = lo, chi = hi;
+      if (ranges) std::tie(clo, chi) = ranges->next();
+      const bool inlineChild = firstChild;
+      firstChild = false;
+      if (!inlineChild && offloadable && pool_->hungry() > 0 &&
+          pool_->queueDepth(workerId_) < detail::kMaxLocalBacklog) {
+        choice_.push_back(c);
+        pool_->push(workerId_, Task{choice_, clo, chi});
+        choice_.pop_back();
+        return;
+      }
+      apply();
+      choice_.push_back(c);
+      dfs(idx + 1, childUncovered, clo, chi);
+      choice_.pop_back();
+      undo();
+    };
     for (std::size_t j = 0; j < openBins; ++j) {
       if (fixedOverflow(j, b)) continue;  // irreducible I/O over budget
-      addToBin(j, b);
-      dfs(idx + 1, uncovered);
-      removeFromBin(j, b);
+      visit(static_cast<std::int16_t>(j), uncovered,
+            [&] { addToBin(j, b); }, [&] { removeFromBin(j, b); });
     }
-    // Choice 2: open a new bin (all empty bins are interchangeable, so a
-    // single branch suffices -- the paper's symmetry pruning).
-    if (!(ctx_.edgesMode &&
-          (ctx_.fixedIn[b] > ctx_.problem.spec().inputs ||
-           ctx_.fixedOut[b] > ctx_.problem.spec().outputs))) {
-      openBin();
-      addToBin(binCount_ - 1, b);
-      dfs(idx + 1, uncovered);
-      removeFromBin(binCount_ - 1, b);
-      --binCount_;
+    if (newBin) {
+      visit(static_cast<std::int16_t>(openBins), uncovered,
+            [&] {
+              openBin();
+              addToBin(binCount_ - 1, b);
+            },
+            [&] {
+              removeFromBin(binCount_ - 1, b);
+              --binCount_;
+            });
     }
-    // Choice 3: leave uncovered.
-    dfs(idx + 1, uncovered + 1);
+    visit(kUncovered, uncovered + 1, [] {}, [] {});
   }
 
-  void finish(int uncovered) {
+  void finish(int uncovered, std::uint32_t lo) {
     const int cost = static_cast<int>(binCount_) + uncovered;
     if (cost >= localBest_) return;
     for (std::size_t j = 0; j < binCount_; ++j) {
@@ -232,15 +298,18 @@ class Worker {
         return;
     }
     if (ctx_.options.requireAcyclicQuotient && !quotientAcyclic()) return;
-    // Tie handling: strictly better cost only, so the first optimum found
-    // in DFS order is kept (deterministic).
+    // Tie handling: within a task only strict cost improvements are
+    // recorded, so the first optimum found in DFS order is kept; across
+    // tasks the packed (cost, ordinal) key decides.
     localBest_ = cost;
-    out_->cost = cost;
-    out_->best.partitions.clear();
-    for (std::size_t j = 0; j < binCount_; ++j)
-      out_->best.partitions.push_back(bins_[j].counter.members());
+    const std::uint64_t key = packKey(cost, lo);
+    if (key < bestKey_) {
+      bestKey_ = key;
+      best_.partitions.clear();
+      for (std::size_t j = 0; j < binCount_; ++j)
+        best_.partitions.push_back(bins_[j].counter.members());
+    }
     // Publish to the shared incumbent (monotone lexicographic minimum).
-    const std::uint64_t key = packKey(cost, myOrdinal_);
     std::uint64_t cur = shared_.liveKey.load(std::memory_order_relaxed);
     while (key < cur && !shared_.liveKey.compare_exchange_weak(
                             cur, key, std::memory_order_relaxed)) {
@@ -283,19 +352,23 @@ class Worker {
 
   const SearchContext& ctx_;
   SharedState& shared_;
+  detail::WorkStealingPool<Task>* pool_;  // null = no splitting (fixed mode)
+  int workerId_ = 0;
   std::vector<Bin> bins_;  // pool; the first binCount_ entries are live
   std::size_t binCount_ = 0;
+  std::vector<std::int16_t> choice_;  // live assignment of blocks [0, idx)
   int localBest_ = 0;
-  std::uint32_t myOrdinal_ = 0;
-  SubResult* out_ = nullptr;
+  std::uint64_t bestKey_;
+  Partitioning best_;
   std::uint64_t explored_ = 0;
   bool aborted_ = false;
 };
 
 /// Enumerates every surviving assignment of the first `depth` inner blocks
-/// in serial DFS order.  Applies only deterministic prunes (the initial
-/// bound and the irreducible-I/O rule), so the task list is a superset of
-/// the subtrees the serial search would enter -- including equal-cost ties.
+/// in serial DFS order -- the kFixedSplit task generator.  Applies only
+/// deterministic prunes (the initial bound and the irreducible-I/O rule),
+/// so the task list is a superset of the subtrees the serial search would
+/// enter -- including equal-cost ties.
 class PrefixGenerator {
  public:
   explicit PrefixGenerator(const SearchContext& ctx) : ctx_(ctx) {}
@@ -318,7 +391,11 @@ class PrefixGenerator {
     const int costSoFar = static_cast<int>(binFixedIn_.size()) + uncovered;
     if (costSoFar >= ctx_.initialBound) return;
     if (idx == depth_ || idx == ctx_.inner.size()) {
-      tasks_.push_back(Task{choice_});
+      // Task i owns the degenerate ordinal range [i+1, i+2): the fixed
+      // split never subdivides further, so one ordinal per task is
+      // exactly the PR-2 tie-break.
+      const auto ord = static_cast<std::uint32_t>(tasks_.size()) + 1;
+      tasks_.push_back(Task{choice_, ord, ord + 1});
       return;
     }
     const BlockId b = ctx_.inner[idx];
@@ -404,16 +481,20 @@ PartitionRun exhaustiveSearch(const PartitionProblem& problem,
 
   const int threads = resolveSearchThreads(options.threads);
   std::uint64_t explored = 0;
+  std::vector<std::unique_ptr<Worker>> workers;
+  std::atomic<std::uint64_t> totalExplored{0};
 
-  std::vector<Task> tasks;
-  if (threads > 1 && n >= 2) {
-    // Split the tree at the shallowest depth that yields enough subtrees
-    // to keep every worker busy (the branching factor is ~3, so this
-    // converges in a handful of cheap enumeration passes).
+  if (options.scheduler == SearchScheduler::kFixedSplit && threads > 1 &&
+      n >= 2) {
+    // Fixed-depth split: cut the tree once at the shallowest depth that
+    // yields enough subtrees to keep every worker busy (the branching
+    // factor is ~3, so this converges in a few cheap enumeration passes),
+    // then drain the list through a shared cursor.
     PrefixGenerator gen(ctx);
     const std::size_t target =
         std::max<std::size_t>(64, static_cast<std::size_t>(threads) * 8);
     std::uint64_t genExplored = 0;
+    std::vector<Task> tasks;
     for (std::size_t depth = 1;; ++depth) {
       tasks = gen.generate(depth, genExplored);
       if (tasks.size() >= target || depth >= static_cast<std::size_t>(n) ||
@@ -421,47 +502,62 @@ PartitionRun exhaustiveSearch(const PartitionProblem& problem,
         break;
     }
     explored += genExplored;
-  } else {
-    tasks.push_back(Task{});  // one task: the whole tree, on this thread
-  }
 
-  std::vector<SubResult> results(tasks.size());
-  const int workerCount =
-      static_cast<int>(std::min<std::size_t>(
-          static_cast<std::size_t>(threads), tasks.size()));
-  std::atomic<std::size_t> next{0};
-  std::atomic<std::uint64_t> totalExplored{0};
-  auto workFn = [&] {
-    Worker worker(ctx, shared);
-    for (;;) {
-      if (shared.timedOut.load(std::memory_order_relaxed)) break;
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= tasks.size()) break;
-      worker.runTask(tasks[i], static_cast<std::uint32_t>(i) + 1,
-                     results[i]);
-    }
-    totalExplored.fetch_add(worker.explored(), std::memory_order_relaxed);
-  };
-  if (workerCount <= 1) {
-    workFn();
+    const int workerCount = static_cast<int>(std::min<std::size_t>(
+        static_cast<std::size_t>(threads), tasks.size()));
+    workers.resize(static_cast<std::size_t>(std::max(workerCount, 1)));
+    std::atomic<std::size_t> next{0};
+    detail::runOnWorkers(workerCount, [&](int w) {
+      auto worker =
+          std::make_unique<Worker>(ctx, shared, nullptr, w);
+      for (;;) {
+        if (shared.timedOut.load(std::memory_order_relaxed)) break;
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= tasks.size()) break;
+        worker->runTask(tasks[i]);
+      }
+      totalExplored.fetch_add(worker->explored(),
+                              std::memory_order_relaxed);
+      workers[static_cast<std::size_t>(w)] = std::move(worker);
+    });
   } else {
-    std::vector<std::thread> pool;
-    pool.reserve(static_cast<std::size_t>(workerCount) - 1);
-    for (int t = 1; t < workerCount; ++t) pool.emplace_back(workFn);
-    workFn();
-    for (std::thread& th : pool) th.join();
+    // Work-stealing: seed the pool with the whole tree as one task owning
+    // the full ordinal range; workers split subtrees on demand when peers
+    // are starved and steal half a victim's deque when their own is dry.
+    const int workerCount = n >= 2 ? threads : 1;
+    detail::WorkStealingPool<Task> taskPool(workerCount);
+    taskPool.push(0, Task{});
+    workers.resize(static_cast<std::size_t>(workerCount));
+    detail::runOnWorkers(workerCount, [&](int w) {
+      auto worker = std::make_unique<Worker>(
+          ctx, shared, workerCount > 1 ? &taskPool : nullptr, w);
+      Task task;
+      while (taskPool.acquire(w, task, shared.timedOut)) {
+        worker->runTask(task);
+        taskPool.release();
+      }
+      totalExplored.fetch_add(worker->explored(),
+                              std::memory_order_relaxed);
+      workers[static_cast<std::size_t>(w)] = std::move(worker);
+    });
   }
   explored += totalExplored.load(std::memory_order_relaxed);
 
-  // Deterministic reduction: tasks are in serial DFS order and each task
-  // recorded the first solution of its local minimum cost, so taking the
-  // first strict improvement reproduces the serial result bit for bit.
-  for (SubResult& r : results) {
-    if (r.cost < bestCost) {
-      bestCost = r.cost;
-      best = std::move(r.best);
+  // Deterministic reduction: every worker accumulated its best solution
+  // as a packed (cost, DFS-ordinal) key; the smallest key over all
+  // workers -- against the initial incumbent at ordinal 0 -- reproduces
+  // the serial result bit for bit.
+  std::uint64_t bestKey = packKey(bestCost, 0);
+  for (const auto& worker : workers) {
+    if (worker && worker->bestKey() < bestKey) {
+      bestKey = worker->bestKey();
+      best = worker->takeBest();
+      bestCost = static_cast<int>(bestKey >> 32);
     }
   }
+  if (workers.size() > 1)
+    for (const auto& worker : workers)
+      if (worker) out.workerExplored.push_back(worker->explored());
 
   out.result = std::move(best);
   out.explored = explored;

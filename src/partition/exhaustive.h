@@ -14,16 +14,19 @@
 //     the port budget is dead (edge-counting mode only).
 // An optional initial solution (e.g. PareDown's) seeds the bound.
 //
-// With threads != 1 the search runs as a work-queue parallel
-// branch-and-bound: the tree is split at a depth chosen to yield several
-// subtrees per worker, workers share the incumbent bound through an
-// atomic, and the final reduction applies a deterministic tie-break (DFS
-// order) so a *completed* search returns a partitioning bit-identical to
-// the serial search's, on every run at every thread count.  Only a run
-// that hits the time limit is scheduling-dependent: workers stop at
-// whatever node they reach, so the (still feasible, timedOut-flagged)
-// best-so-far may differ between runs -- exactly as two serial runs with
-// different time budgets may.
+// With threads != 1 the search runs as a parallel branch-and-bound.
+// Workers share the incumbent bound through an atomic packed
+// (cost, DFS-ordinal) key, and every subtree handed to a worker carries a
+// DFS-ordinal range, so a *completed* search returns a partitioning
+// bit-identical to the serial search's, on every run at every thread
+// count -- under either scheduler (see scheduler.h and
+// docs/partitioning.md): the default work-stealing scheduler splits
+// subtrees on demand when workers starve, while kFixedSplit reproduces
+// the original one-shot fixed-depth split.  Only a run that hits the
+// time limit is scheduling-dependent: workers stop at whatever node they
+// reach, so the (still feasible, timedOut-flagged) best-so-far may
+// differ between runs -- exactly as two serial runs with different time
+// budgets may.
 #ifndef EBLOCKS_PARTITION_EXHAUSTIVE_H_
 #define EBLOCKS_PARTITION_EXHAUSTIVE_H_
 
@@ -31,6 +34,7 @@
 
 #include "partition/problem.h"
 #include "partition/result.h"
+#include "partition/scheduler.h"
 
 namespace eblocks::partition {
 
@@ -55,6 +59,10 @@ struct ExhaustiveOptions {
   /// search.  Every thread count returns the identical result unless the
   /// time limit cuts the search short (see the header comment).
   int threads = 0;
+  /// How subtrees are distributed over workers (threads != 1 only).
+  /// Both schedulers return the identical result; work-stealing
+  /// rebalances unbalanced trees that starve the fixed split.
+  SearchScheduler scheduler = SearchScheduler::kWorkStealing;
 };
 
 /// Runs the exhaustive search.  `run.optimal` is true iff the search

@@ -4,13 +4,18 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <cstdint>
 #include <limits>
+#include <memory>
+#include <optional>
 #include <thread>
+#include <tuple>
 #include <vector>
 
 #include "core/levels.h"
 #include "partition/exhaustive.h"
 #include "partition/port_counter.h"
+#include "partition/work_steal.h"
 
 namespace eblocks::partition {
 
@@ -95,9 +100,10 @@ TypedPartitionRun multiTypePareDown(const Network& net,
   const std::vector<int> levels = computeLevels(net);
 
   BitSet blocks = net.innerSet();
-  // Port usage of the paring candidate is maintained incrementally (one
-  // O(degree) update per removal) on the shared validity kernel.
-  PortCounter candidate(net, model.mode);
+  // Port usage, border set, and removal ranks of the paring candidate are
+  // maintained incrementally (one O(degree) update per removal) on the
+  // shared validity kernel -- no member-set rescans per round.
+  PortCounter candidate(net, model.mode, BorderTracking::kOn);
   while (blocks.any()) {
     candidate.assign(blocks);
     bool accepted = false;
@@ -121,17 +127,17 @@ TypedPartitionRun multiTypePareDown(const Network& net,
         accepted = true;
         break;
       }
-      const std::vector<BlockId> border =
-          borderBlocks(net, candidate.members());
+      std::vector<BlockId> border;
+      std::vector<int> ranks;
+      candidate.border().forEach([&](std::size_t b) {
+        border.push_back(static_cast<BlockId>(b));
+        ranks.push_back(candidate.rank(static_cast<BlockId>(b)));
+      });
       if (border.empty()) {  // pathological; retire candidate
         blocks.andNot(candidate.members());
         accepted = true;
         break;
       }
-      std::vector<int> ranks;
-      ranks.reserve(border.size());
-      for (BlockId b : border)
-        ranks.push_back(removalRank(net, candidate.members(), b));
       lastRemoved = chooseRemoval(net, levels, border, ranks);
       candidate.remove(lastRemoved);
     }
@@ -150,9 +156,13 @@ using Clock = std::chrono::steady_clock;
 
 /// One unit of parallel work: the bin assignment of the first
 /// `choice.size()` inner blocks (-1 = uncovered, j = join bin j, j ==
-/// #bins = open a new bin).  Generated in serial DFS order.
+/// #bins = open a new bin), plus the half-open DFS-ordinal range
+/// [ordLo, ordHi) owned by the subtree -- see the Task comment in
+/// exhaustive.cpp for how ordinals realize the deterministic tie-break.
 struct MultiTask {
   std::vector<std::int16_t> choice;
+  std::uint32_t ordLo = 1;
+  std::uint32_t ordHi = std::numeric_limits<std::uint32_t>::max();
 };
 
 constexpr std::int16_t kUncovered = -1;
@@ -160,8 +170,10 @@ constexpr std::int16_t kUncovered = -1;
 struct MultiShared {
   /// Best cost discovered anywhere; pruning uses the *strict* comparison
   /// `lowerBound > liveCost + slack`, which keeps every subtree that can
-  /// still tie the optimum alive, so the deterministic DFS-order
-  /// reduction reproduces the serial result exactly.
+  /// still tie the optimum alive, so the deterministic ordinal tie-break
+  /// in the reduction reproduces the serial result exactly.  (Costs are
+  /// doubles, so unlike exhaustive.cpp the ordinal cannot be packed into
+  /// the atomic; ties stay alive globally and are settled per worker.)
   std::atomic<double> liveCost{std::numeric_limits<double>::infinity()};
   std::atomic<bool> timedOut{false};
 };
@@ -173,10 +185,14 @@ void lowerLive(std::atomic<double>& live, double c) {
   }
 }
 
-struct MultiSubResult {
-  double cost = std::numeric_limits<double>::infinity();
-  TypedPartitioning best;
-};
+/// The deterministic reduction order: better cost (beyond FP slack)
+/// first, then the smaller DFS ordinal among (slack-)equal costs.
+bool betterTyped(double cost, std::uint32_t ord, double bestCost,
+                 std::uint32_t bestOrd) {
+  if (cost < bestCost - kCostSlack) return true;
+  if (cost > bestCost + kCostSlack) return false;
+  return ord < bestOrd;
+}
 
 /// Immutable per-search configuration shared by every worker.
 struct MultiContext {
@@ -209,15 +225,21 @@ struct MultiContext {
 
 class MultiWorker {
  public:
-  MultiWorker(const MultiContext& ctx, MultiShared& shared)
-      : ctx_(ctx), shared_(shared) {
+  MultiWorker(const MultiContext& ctx, MultiShared& shared,
+              detail::WorkStealingPool<MultiTask>* pool, int workerId)
+      : ctx_(ctx),
+        shared_(shared),
+        pool_(pool),
+        workerId_(workerId),
+        bestCost_(ctx.initialBound) {
     bins_.reserve(ctx.inner.size() + 1);
+    choice_.reserve(ctx.inner.size());
   }
 
-  void runTask(const MultiTask& task, MultiSubResult& out) {
-    out_ = &out;
+  void runTask(const MultiTask& task) {
     localBest_ = ctx_.initialBound;
     resetBins();
+    choice_ = task.choice;
     int uncovered = 0;
     for (std::size_t i = 0; i < task.choice.size(); ++i) {
       const std::int16_t c = task.choice[i];
@@ -228,10 +250,13 @@ class MultiWorker {
       if (static_cast<std::size_t>(c) == binCount_) openBin();
       bins_[static_cast<std::size_t>(c)].add(ctx_.inner[i]);
     }
-    dfs(task.choice.size(), uncovered);
+    dfs(task.choice.size(), uncovered, task.ordLo, task.ordHi);
   }
 
   std::uint64_t explored() const { return explored_; }
+  double bestCost() const { return bestCost_; }
+  std::uint32_t bestOrdinal() const { return bestOrd_; }
+  TypedPartitioning takeBest() { return std::move(best_); }
 
  private:
   void resetBins() {
@@ -258,7 +283,8 @@ class MultiWorker {
     return aborted_;
   }
 
-  void dfs(std::size_t idx, int uncovered) {
+  void dfs(std::size_t idx, int uncovered, std::uint32_t lo,
+           std::uint32_t hi) {
     ++explored_;
     if (timeExpired()) return;
     const double lowerBound =
@@ -269,27 +295,57 @@ class MultiWorker {
         shared_.liveCost.load(std::memory_order_relaxed) + kCostSlack)
       return;
     if (idx == ctx_.inner.size()) {
-      finish(uncovered);
+      finish(uncovered, lo);
       return;
     }
     const BlockId b = ctx_.inner[idx];
+    // Children in serial DFS order: join each open bin, open a new bin,
+    // leave uncovered.  The multi-type search has no per-child
+    // feasibility filter, so the child count is simply binCount_ + 2.
     const std::size_t openBins = binCount_;
+    // Split ordinal ranges only where offloading is possible; see the
+    // matching comment in exhaustive.cpp.
+    std::optional<detail::RangeSplitter> ranges;
+    if (pool_ != nullptr && ctx_.inner.size() - idx > detail::kLeafMargin)
+      ranges.emplace(lo, hi, openBins + 2);
+    const bool offloadable = ranges && ranges->offloadable();
+    bool firstChild = true;
+    const auto visit = [&](std::int16_t c, int childUncovered,
+                           auto&& apply, auto&& undo) {
+      std::uint32_t clo = lo, chi = hi;
+      if (ranges) std::tie(clo, chi) = ranges->next();
+      const bool inlineChild = firstChild;
+      firstChild = false;
+      if (!inlineChild && offloadable && pool_->hungry() > 0 &&
+          pool_->queueDepth(workerId_) < detail::kMaxLocalBacklog) {
+        choice_.push_back(c);
+        pool_->push(workerId_, MultiTask{choice_, clo, chi});
+        choice_.pop_back();
+        return;
+      }
+      apply();
+      choice_.push_back(c);
+      dfs(idx + 1, childUncovered, clo, chi);
+      choice_.pop_back();
+      undo();
+    };
     for (std::size_t j = 0; j < openBins; ++j) {
-      bins_[j].add(b);
-      dfs(idx + 1, uncovered);
-      bins_[j].remove(b);
+      visit(static_cast<std::int16_t>(j), uncovered,
+            [&] { bins_[j].add(b); }, [&] { bins_[j].remove(b); });
     }
-    {
-      openBin();
-      bins_[binCount_ - 1].add(b);
-      dfs(idx + 1, uncovered);
-      bins_[binCount_ - 1].remove(b);
-      --binCount_;
-    }
-    dfs(idx + 1, uncovered + 1);
+    visit(static_cast<std::int16_t>(openBins), uncovered,
+          [&] {
+            openBin();
+            bins_[binCount_ - 1].add(b);
+          },
+          [&] {
+            bins_[binCount_ - 1].remove(b);
+            --binCount_;
+          });
+    visit(kUncovered, uncovered + 1, [] {}, [] {});
   }
 
-  void finish(int uncovered) {
+  void finish(int uncovered, std::uint32_t lo) {
     double cost = ctx_.model.preDefinedBlockCost * uncovered;
     std::vector<int> chosen;
     chosen.reserve(binCount_);
@@ -299,22 +355,33 @@ class MultiWorker {
       chosen.push_back(*option);
       cost += ctx_.model.options[static_cast<std::size_t>(*option)].cost;
     }
+    // Within a task only strict (beyond-slack) improvements pass, so the
+    // first solution of the task's best cost is kept in DFS order;
+    // across tasks betterTyped()'s ordinal tie-break decides.
     if (cost + kCostSlack >= localBest_) return;
     localBest_ = cost;
-    out_->cost = cost;
-    out_->best.partitions.clear();
-    for (std::size_t j = 0; j < binCount_; ++j)
-      out_->best.partitions.push_back(bins_[j].members());
-    out_->best.optionIndex = std::move(chosen);
+    if (betterTyped(cost, lo, bestCost_, bestOrd_)) {
+      bestCost_ = cost;
+      bestOrd_ = lo;
+      best_.partitions.clear();
+      for (std::size_t j = 0; j < binCount_; ++j)
+        best_.partitions.push_back(bins_[j].members());
+      best_.optionIndex = std::move(chosen);
+    }
     lowerLive(shared_.liveCost, cost);
   }
 
   const MultiContext& ctx_;
   MultiShared& shared_;
+  detail::WorkStealingPool<MultiTask>* pool_;  // null = no splitting
+  int workerId_ = 0;
   std::vector<PortCounter> bins_;  // pool; first binCount_ entries live
   std::size_t binCount_ = 0;
+  std::vector<std::int16_t> choice_;  // live assignment of blocks [0, idx)
   double localBest_ = 0;
-  MultiSubResult* out_ = nullptr;
+  double bestCost_;
+  std::uint32_t bestOrd_ = 0;
+  TypedPartitioning best_;
   std::uint64_t explored_ = 0;
   bool aborted_ = false;
 };
@@ -345,7 +412,9 @@ class MultiPrefixGenerator {
         ctx_.model.preDefinedBlockCost * uncovered;
     if (lowerBound + kCostSlack >= ctx_.initialBound) return;
     if (idx == depth_ || idx == ctx_.inner.size()) {
-      tasks_.push_back(MultiTask{choice_});
+      // Degenerate range [i+1, i+2): one ordinal per fixed-split task.
+      const auto ord = static_cast<std::uint32_t>(tasks_.size()) + 1;
+      tasks_.push_back(MultiTask{choice_, ord, ord + 1});
       return;
     }
     for (std::size_t j = 0; j < openBins_; ++j) {
@@ -401,13 +470,17 @@ TypedPartitionRun multiTypeExhaustive(
 
   const int threads = resolveSearchThreads(options.threads);
   std::uint64_t explored = 0;
+  std::vector<std::unique_ptr<MultiWorker>> workers;
+  std::atomic<std::uint64_t> totalExplored{0};
 
-  std::vector<MultiTask> tasks;
-  if (threads > 1 && n >= 2) {
+  if (options.scheduler == SearchScheduler::kFixedSplit && threads > 1 &&
+      n >= 2) {
+    // One-shot fixed-depth split; see exhaustive.cpp.
     MultiPrefixGenerator gen(ctx);
     const std::size_t target =
         std::max<std::size_t>(64, static_cast<std::size_t>(threads) * 8);
     std::uint64_t genExplored = 0;
+    std::vector<MultiTask> tasks;
     for (std::size_t depth = 1;; ++depth) {
       tasks = gen.generate(depth, genExplored);
       if (tasks.size() >= target || depth >= static_cast<std::size_t>(n) ||
@@ -415,44 +488,66 @@ TypedPartitionRun multiTypeExhaustive(
         break;
     }
     explored += genExplored;
-  } else {
-    tasks.push_back(MultiTask{});
-  }
 
-  std::vector<MultiSubResult> results(tasks.size());
-  const int workerCount =
-      static_cast<int>(std::min<std::size_t>(
-          static_cast<std::size_t>(threads), tasks.size()));
-  std::atomic<std::size_t> next{0};
-  std::atomic<std::uint64_t> totalExplored{0};
-  auto workFn = [&] {
-    MultiWorker worker(ctx, shared);
-    for (;;) {
-      if (shared.timedOut.load(std::memory_order_relaxed)) break;
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= tasks.size()) break;
-      worker.runTask(tasks[i], results[i]);
-    }
-    totalExplored.fetch_add(worker.explored(), std::memory_order_relaxed);
-  };
-  if (workerCount <= 1) {
-    workFn();
+    const int workerCount = static_cast<int>(std::min<std::size_t>(
+        static_cast<std::size_t>(threads), tasks.size()));
+    workers.resize(static_cast<std::size_t>(std::max(workerCount, 1)));
+    std::atomic<std::size_t> next{0};
+    detail::runOnWorkers(workerCount, [&](int w) {
+      auto worker = std::make_unique<MultiWorker>(ctx, shared, nullptr, w);
+      for (;;) {
+        if (shared.timedOut.load(std::memory_order_relaxed)) break;
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= tasks.size()) break;
+        worker->runTask(tasks[i]);
+      }
+      totalExplored.fetch_add(worker->explored(),
+                              std::memory_order_relaxed);
+      workers[static_cast<std::size_t>(w)] = std::move(worker);
+    });
   } else {
-    std::vector<std::thread> pool;
-    pool.reserve(static_cast<std::size_t>(workerCount) - 1);
-    for (int t = 1; t < workerCount; ++t) pool.emplace_back(workFn);
-    workFn();
-    for (std::thread& th : pool) th.join();
+    // Work-stealing over on-demand subtree splits; see exhaustive.cpp.
+    const int workerCount = n >= 2 ? threads : 1;
+    detail::WorkStealingPool<MultiTask> taskPool(workerCount);
+    taskPool.push(0, MultiTask{});
+    workers.resize(static_cast<std::size_t>(workerCount));
+    detail::runOnWorkers(workerCount, [&](int w) {
+      auto worker = std::make_unique<MultiWorker>(
+          ctx, shared, workerCount > 1 ? &taskPool : nullptr, w);
+      MultiTask task;
+      while (taskPool.acquire(w, task, shared.timedOut)) {
+        worker->runTask(task);
+        taskPool.release();
+      }
+      totalExplored.fetch_add(worker->explored(),
+                              std::memory_order_relaxed);
+      workers[static_cast<std::size_t>(w)] = std::move(worker);
+    });
   }
   explored += totalExplored.load(std::memory_order_relaxed);
 
-  // Deterministic DFS-order reduction (see exhaustive.cpp).
-  for (MultiSubResult& r : results) {
-    if (r.cost + kCostSlack < bestCost) {
-      bestCost = r.cost;
-      best = std::move(r.best);
+  // Deterministic reduction: replay the serial acceptance rule (strict
+  // beyond-slack improvement only) over the worker bests in ascending
+  // DFS-ordinal order, starting from the initial incumbent at ordinal 0.
+  // Scanning in ordinal order -- not worker order -- matters because the
+  // slack comparison is not transitive: a fixed scan order makes the
+  // fold independent of which worker happened to hold which candidate.
+  std::vector<MultiWorker*> byOrdinal;
+  for (const auto& worker : workers)
+    if (worker) byOrdinal.push_back(worker.get());
+  std::sort(byOrdinal.begin(), byOrdinal.end(),
+            [](const MultiWorker* a, const MultiWorker* b) {
+              return a->bestOrdinal() < b->bestOrdinal();
+            });
+  for (MultiWorker* worker : byOrdinal) {
+    if (worker->bestCost() + kCostSlack < bestCost) {
+      bestCost = worker->bestCost();
+      best = worker->takeBest();
     }
   }
+  if (workers.size() > 1)
+    for (const auto& worker : workers)
+      if (worker) out.workerExplored.push_back(worker->explored());
 
   out.result = std::move(best);
   out.explored = explored;

@@ -21,6 +21,7 @@
 
 #include "partition/problem.h"
 #include "partition/result.h"
+#include "partition/scheduler.h"
 
 namespace eblocks::partition {
 
@@ -61,6 +62,9 @@ struct TypedPartitionRun {
   bool optimal = false;
   bool timedOut = false;
   std::uint64_t explored = 0;
+  /// Per-worker explored counts (parallel searches only); see
+  /// PartitionRun::workerExplored.
+  std::vector<std::uint64_t> workerExplored;
 };
 
 /// Index of the cheapest option that fits the subgraph, or nullopt.
@@ -87,6 +91,8 @@ struct MultiTypeExhaustiveOptions {
   /// the identical result (deterministic DFS-order tie-break) unless the
   /// time limit cuts the search short (see exhaustive.h).
   int threads = 0;
+  /// Subtree distribution policy, as in ExhaustiveOptions::scheduler.
+  SearchScheduler scheduler = SearchScheduler::kWorkStealing;
 };
 
 /// Exhaustive branch-and-bound over assignments and option choices.

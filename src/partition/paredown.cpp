@@ -53,10 +53,11 @@ PartitionRun pareDown(const PartitionProblem& problem,
   run.algorithm = "paredown";
 
   BitSet blocks = problem.innerSet();
-  // The candidate's port usage is maintained incrementally: each paring
-  // round removes one block, so the counter update is O(degree) instead of
-  // a full countIo() rescan per decision.
-  PortCounter candidate(net, spec.mode);
+  // The candidate's port usage, border set, and removal ranks are all
+  // maintained incrementally: each paring round removes one block, so the
+  // counter update is O(degree) instead of a full countIo() /
+  // borderBlocks() / removalRank() rescan of the member set per decision.
+  PortCounter candidate(net, spec.mode, BorderTracking::kOn);
   while (blocks.any()) {
     candidate.assign(blocks);
     bool accepted = false;
@@ -77,10 +78,10 @@ PartitionRun pareDown(const PartitionProblem& problem,
         if (options.trace) options.trace(step);
         break;
       }
-      step.border = borderBlocks(net, candidate.members());
-      step.ranks.reserve(step.border.size());
-      for (BlockId b : step.border)
-        step.ranks.push_back(removalRank(net, candidate.members(), b));
+      candidate.border().forEach([&](std::size_t b) {
+        step.border.push_back(static_cast<BlockId>(b));
+        step.ranks.push_back(candidate.rank(static_cast<BlockId>(b)));
+      });
       if (step.border.empty()) {
         // Cannot happen on DAGs (a maximal-level member is always border),
         // but guard against pathological inputs: abandon this candidate.

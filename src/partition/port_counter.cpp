@@ -33,6 +33,7 @@ void PortCounter::add(BlockId b) {
         incOut(c.from);  // b's endpoint now feeds the outside
     }
   }
+  if (tracking_ == BorderTracking::kOn) trackAdd(b);
   members_.set(b);
   ++count_;
 }
@@ -69,9 +70,56 @@ void PortCounter::remove(BlockId b) {
         decOut(c.from);
     }
   }
+  if (tracking_ == BorderTracking::kOn) trackRemove(b);
+}
+
+void PortCounter::trackAdd(BlockId b) {
+  // Called with members_ still *excluding* b.  b's own internal degrees
+  // are counted from scratch (O(degree)); each member neighbor gains one
+  // internal edge on the side facing b.
+  int in = 0, out = 0;
+  for (const Connection& c : net_->inputsOf(b)) {
+    const BlockId u = c.from.block;
+    if (!members_.test(u)) continue;
+    ++in;
+    if (++internalOut_[u] == 1) refreshBorderBit(u);
+  }
+  for (const Connection& c : net_->outputsOf(b)) {
+    const BlockId v = c.to.block;
+    if (!members_.test(v)) continue;
+    ++out;
+    if (++internalIn_[v] == 1) refreshBorderBit(v);
+  }
+  internalIn_[b] = in;
+  internalOut_[b] = out;
+  refreshBorderBit(b);
+}
+
+void PortCounter::trackRemove(BlockId b) {
+  // Called with members_ already *excluding* b.  Each member neighbor
+  // loses one internal edge on the side facing b; a counter reaching zero
+  // can only make that neighbor border.
+  for (const Connection& c : net_->inputsOf(b)) {
+    const BlockId u = c.from.block;
+    if (members_.test(u) && --internalOut_[u] == 0) border_.set(u);
+  }
+  for (const Connection& c : net_->outputsOf(b)) {
+    const BlockId v = c.to.block;
+    if (members_.test(v) && --internalIn_[v] == 0) border_.set(v);
+  }
+  internalIn_[b] = 0;
+  internalOut_[b] = 0;
+  border_.reset(b);
 }
 
 void PortCounter::clear() {
+  if (tracking_ == BorderTracking::kOn) {
+    members_.forEach([&](std::size_t b) {
+      internalIn_[b] = 0;
+      internalOut_[b] = 0;
+    });
+    border_.clear();
+  }
   members_.clear();
   count_ = 0;
   io_ = IoCount{};

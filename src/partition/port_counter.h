@@ -10,14 +10,25 @@
 // PortCounter carries the same IoCount forward incrementally, so a probe
 // costs only the touched block's degree.
 //
-// countIo() in core/subgraph.h remains the independent from-scratch
-// reference; the randomized kernel tests cross-check every incremental
-// state against it.
+// Beyond port usage, the kernel can optionally maintain the *border set*
+// and *removal ranks* PareDown consults every round (Section 4.2).  Both
+// derive from two per-member integers that update in O(degree) per move:
+//   internalIn(b)  = #input  connections of member b fed by members
+//   internalOut(b) = #output connections of member b consumed by members
+// A member is border iff internalIn == 0 or internalOut == 0, and its
+// removal rank is 2*(internalIn + internalOut) - indegree - outdegree.
+// Tracking is opt-in (BorderTracking::kOn) because the branch-and-bound
+// bins never ask for borders and should not pay for them.
+//
+// countIo(), borderBlocks(), and removalRank() in core/subgraph.h remain
+// the independent from-scratch references; the randomized kernel tests
+// cross-check every incremental state against them.
 #ifndef EBLOCKS_PARTITION_PORT_COUNTER_H_
 #define EBLOCKS_PARTITION_PORT_COUNTER_H_
 
 #include <cstdint>
 #include <unordered_map>
+#include <vector>
 
 #include "core/bitset.h"
 #include "core/network.h"
@@ -25,15 +36,30 @@
 
 namespace eblocks::partition {
 
+/// Whether a PortCounter additionally maintains the border set and the
+/// removal ranks of its members (see the header comment).
+enum class BorderTracking { kOff, kOn };
+
 /// Incrementally maintained I/O usage of a member set.  The network must
 /// outlive the counter.  Not thread-safe; parallel search gives each
 /// worker (and each bin) its own counter.
 class PortCounter {
  public:
-  PortCounter(const Network& net, CountingMode mode)
-      : net_(&net), mode_(mode), members_(net.blockCount()) {}
+  PortCounter(const Network& net, CountingMode mode,
+              BorderTracking tracking = BorderTracking::kOff)
+      : net_(&net),
+        mode_(mode),
+        tracking_(tracking),
+        members_(net.blockCount()) {
+    if (tracking_ == BorderTracking::kOn) {
+      internalIn_.resize(net.blockCount(), 0);
+      internalOut_.resize(net.blockCount(), 0);
+      border_ = BitSet(net.blockCount());
+    }
+  }
 
   CountingMode mode() const { return mode_; }
+  bool tracksBorder() const { return tracking_ == BorderTracking::kOn; }
   const BitSet& members() const { return members_; }
   int memberCount() const { return count_; }
   bool contains(BlockId b) const { return members_.test(b); }
@@ -41,6 +67,19 @@ class PortCounter {
   /// Current port usage; always equal to
   /// countIo(net, members(), mode()).
   const IoCount& io() const { return io_; }
+
+  /// The current border members; always equal (as a set) to
+  /// borderBlocks(net, members()).  Requires BorderTracking::kOn.
+  const BitSet& border() const { return border_; }
+
+  /// Removal rank of member `b`; always equal to
+  /// removalRank(net, members(), b).  O(1).  Requires BorderTracking::kOn
+  /// and `b` to be a member.
+  int rank(BlockId b) const {
+    return 2 * (internalIn_[b] + internalOut_[b]) -
+           static_cast<int>(net_->indegree(b)) -
+           static_cast<int>(net_->outdegree(b));
+  }
 
   /// Adds `b` to the set in O(degree(b)).  `b` must not be a member.
   void add(BlockId b);
@@ -81,12 +120,28 @@ class PortCounter {
     }
   }
 
+  /// Recomputes the border bit of member `b` from its internal-degree
+  /// counters (border iff every input or every output crosses the
+  /// boundary -- vacuously true for disconnected sides).
+  void refreshBorderBit(BlockId b) {
+    if (internalIn_[b] == 0 || internalOut_[b] == 0)
+      border_.set(b);
+    else
+      border_.reset(b);
+  }
+  void trackAdd(BlockId b);
+  void trackRemove(BlockId b);
+
   const Network* net_;
   CountingMode mode_;
+  BorderTracking tracking_;
   BitSet members_;
   int count_ = 0;
   IoCount io_;
   std::unordered_map<std::uint64_t, int> inSrc_, outSrc_;
+  // Border/rank bookkeeping (BorderTracking::kOn only; empty otherwise).
+  std::vector<int> internalIn_, internalOut_;
+  BitSet border_;
 };
 
 }  // namespace eblocks::partition

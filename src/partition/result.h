@@ -46,6 +46,11 @@ struct PartitionRun {
   bool timedOut = false;
   /// Nodes explored (search-effort metric; 0 when not applicable).
   std::uint64_t explored = 0;
+  /// Nodes explored per worker thread (parallel searches only; empty
+  /// otherwise).  The spread is the hardware-independent witness of load
+  /// balance: max/mean near 1 means every worker carried equal search
+  /// effort, regardless of how the OS scheduled the threads.
+  std::vector<std::uint64_t> workerExplored;
 };
 
 }  // namespace eblocks::partition

@@ -1,0 +1,49 @@
+// How the parallel branch-and-bound distributes search subtrees over
+// worker threads.  Both schedulers preserve the deterministic
+// (cost, DFS-ordinal) incumbent tie-break, so a *completed* search
+// returns the bit-identical serial result under either of them at any
+// thread count; they differ only in load balance (see exhaustive.h and
+// docs/partitioning.md).
+#ifndef EBLOCKS_PARTITION_SCHEDULER_H_
+#define EBLOCKS_PARTITION_SCHEDULER_H_
+
+#include <optional>
+#include <string_view>
+
+namespace eblocks::partition {
+
+enum class SearchScheduler {
+  /// Per-worker deques with on-demand subtree splitting: a worker that
+  /// observes starved peers splits the shallowest unexplored level of its
+  /// current subtree into stealable tasks, and starved workers steal half
+  /// of the oldest (largest) tasks from a victim's deque.  Granularity
+  /// adapts to the tree, so unbalanced trees cannot strand the whole
+  /// remaining search on one worker.  The default.
+  kWorkStealing,
+  /// The original fixed-depth splitter: the tree is cut once, up front,
+  /// at the shallowest depth that yields several subtrees per worker, and
+  /// workers drain that fixed task list.  Balances well when tasks vastly
+  /// outnumber workers, but one oversized subtree can starve the rest of
+  /// the pool near the end of a run.  Kept for comparison
+  /// (bench_parallel_speedup races the two).
+  kFixedSplit,
+};
+
+constexpr const char* toString(SearchScheduler s) {
+  return s == SearchScheduler::kWorkStealing ? "work-stealing"
+                                             : "fixed-split";
+}
+
+/// Parses a scheduler name ("work-stealing"/"steal", "fixed-split"/
+/// "split"); nullopt when unknown.
+inline std::optional<SearchScheduler> parseScheduler(std::string_view name) {
+  if (name == "work-stealing" || name == "steal")
+    return SearchScheduler::kWorkStealing;
+  if (name == "fixed-split" || name == "split")
+    return SearchScheduler::kFixedSplit;
+  return std::nullopt;
+}
+
+}  // namespace eblocks::partition
+
+#endif  // EBLOCKS_PARTITION_SCHEDULER_H_

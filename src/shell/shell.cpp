@@ -26,7 +26,9 @@ constexpr char kHelp[] = R"(commands:
   tick [n]                       advance the timer
   outputs                        print output block values
   probe <block> <var>            read a block variable
-  synth [algo] [ins outs] [thr]  run synthesis (default paredown 2 2)
+  synth [algo] [ins outs] [thr] [sched]
+                                 run synthesis (default paredown 2 2;
+                                 sched: work-stealing | fixed-split)
   algorithms                     list registered partitioning algorithms
   report                         print the last synthesis report
   use synth|source               choose the network 'sim' runs
@@ -270,13 +272,37 @@ void Shell::cmdSynth(std::istream& args, std::ostream& out) {
     }
     options.algorithm = algorithm;
   }
+  // Positional, each group optional: a group that fails on its first
+  // token leaves it in place (clear() resets the failbit) so a trailing
+  // scheduler name works with or without the numeric groups.  A ports
+  // group missing its second number is an error, not a silent default.
   int ins = 0, outs = 0;
-  if (args >> ins >> outs) {
+  if (args >> ins) {
+    if (!(args >> outs)) {
+      out << "usage: synth [algo] [ins outs] [threads] [scheduler]\n";
+      return;
+    }
     options.spec.inputs = ins;
     options.spec.outputs = outs;
+  } else {
+    args.clear();
   }
   int threads = 0;
-  if (args >> threads) options.engine.threads = threads;
+  if (args >> threads) {
+    options.engine.threads = threads;
+  } else {
+    args.clear();
+  }
+  std::string sched;
+  if (args >> sched) {
+    const auto scheduler = partition::parseScheduler(sched);
+    if (!scheduler) {
+      out << "error: unknown scheduler '" << sched
+          << "' (work-stealing or fixed-split)\n";
+      return;
+    }
+    options.engine.scheduler = *scheduler;
+  }
   synthResult_ = synth::synthesize(source_, options);
   simulator_.reset();
   out << synthResult_->report();

@@ -4,6 +4,7 @@
 // outputs must match step for step.  This is the software stand-in for the
 // paper's "compile and download onto the physical PIC block" validation.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <array>
 #include <cstdio>
@@ -27,14 +28,21 @@ bool hostCompilerAvailable() {
 }
 
 /// Compiles `cSource` (with the test harness enabled) and runs it against
-/// `script` (lines of harness commands); returns stdout.
+/// `script` (lines of harness commands); returns stdout.  Artifact names
+/// carry the test name and pid: `ctest -j` schedules the suites of this
+/// binary concurrently with other processes sharing TempDir(), and fixed
+/// names let one test execute another's freshly compiled binary.
 std::string runGeneratedC(const std::string& cSource,
                           const std::string& script) {
   const std::string dir = ::testing::TempDir();
-  const std::string cPath = dir + "/eb_gen.c";
-  const std::string binPath = dir + "/eb_gen";
-  const std::string inPath = dir + "/eb_in.txt";
-  const std::string outPath = dir + "/eb_out.txt";
+  const std::string tag =
+      std::string("eb_gen_") +
+      ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+      "_" + std::to_string(static_cast<long>(::getpid()));
+  const std::string cPath = dir + "/" + tag + ".c";
+  const std::string binPath = dir + "/" + tag;
+  const std::string inPath = dir + "/" + tag + "_in.txt";
+  const std::string outPath = dir + "/" + tag + "_out.txt";
   {
     std::ofstream f(cPath);
     f << cSource;
@@ -45,9 +53,9 @@ std::string runGeneratedC(const std::string& cSource,
   }
   const std::string compile =
       "cc -std=c99 -O1 -DEB_TEST_HARNESS -o " + binPath + " " + cPath +
-      " 2> " + dir + "/eb_cc.log";
+      " 2> " + dir + "/" + tag + "_cc.log";
   if (std::system(compile.c_str()) != 0) {
-    std::ifstream log(dir + "/eb_cc.log");
+    std::ifstream log(dir + "/" + tag + "_cc.log");
     std::stringstream ss;
     ss << log.rdbuf();
     ADD_FAILURE() << "cc failed:\n" << ss.str();

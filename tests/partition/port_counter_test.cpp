@@ -1,6 +1,8 @@
 // The incremental validity kernel must agree with the from-scratch
-// countIo() reference after every single add/remove, in both counting
-// modes, on reproducible random networks.
+// countIo() / borderBlocks() / removalRank() references after every
+// single add/remove, in both counting modes, on reproducible random
+// networks -- and the incremental algorithms built on it must never fall
+// back to the full-scan references on their hot paths.
 #include "partition/port_counter.h"
 
 #include <gtest/gtest.h>
@@ -10,6 +12,8 @@
 
 #include "blocks/catalog.h"
 #include "designs/library.h"
+#include "partition/multitype.h"
+#include "partition/paredown.h"
 #include "randgen/generator.h"
 
 namespace eblocks::partition {
@@ -114,6 +118,109 @@ INSTANTIATE_TEST_SUITE_P(BothModes, PortCounterModes,
                          [](const auto& paramInfo) {
                            return std::string(toString(paramInfo.param));
                          });
+
+void expectMatchesBorderReference(const Network& net,
+                                  const PortCounter& counter,
+                                  const BitSet& reference, int step) {
+  // border() must equal the from-scratch borderBlocks() as a set, and
+  // rank() must equal removalRank() for every member.
+  std::vector<BlockId> incremental;
+  counter.border().forEach(
+      [&](std::size_t b) { incremental.push_back(static_cast<BlockId>(b)); });
+  EXPECT_EQ(incremental, borderBlocks(net, reference))
+      << "border diverged at step " << step;
+  reference.forEach([&](std::size_t bi) {
+    const BlockId b = static_cast<BlockId>(bi);
+    EXPECT_EQ(counter.rank(b), removalRank(net, reference, b))
+        << "rank of block " << b << " diverged at step " << step;
+  });
+}
+
+TEST_P(PortCounterModes, RandomizedBorderAndRankMatchFromScratchScan) {
+  const CountingMode mode = GetParam();
+  for (const std::uint32_t netSeed : {21u, 22u, 23u, 24u, 25u}) {
+    const Network net = randgen::randomNetwork(
+        {.innerBlocks = 14, .seed = netSeed});
+    const std::vector<BlockId> inner = net.innerBlocks();
+    PortCounter counter(net, mode, BorderTracking::kOn);
+    BitSet reference = net.emptySet();
+    std::mt19937 rng(netSeed * 104729);
+    std::uniform_int_distribution<std::size_t> pick(0, inner.size() - 1);
+    for (int step = 0; step < 400; ++step) {
+      const BlockId b = inner[pick(rng)];
+      if (counter.contains(b)) {
+        counter.remove(b);
+        reference.reset(b);
+      } else {
+        counter.add(b);
+        reference.set(b);
+      }
+      expectMatchesReference(net, counter, reference, mode, step);
+      expectMatchesBorderReference(net, counter, reference, step);
+    }
+  }
+}
+
+TEST_P(PortCounterModes, BorderTrackingSurvivesAssignAndClear) {
+  const CountingMode mode = GetParam();
+  const Network net = randgen::randomNetwork({.innerBlocks = 16, .seed = 77});
+  PortCounter counter(net, mode, BorderTracking::kOn);
+  std::mt19937 rng(123);
+  for (int trial = 0; trial < 20; ++trial) {
+    BitSet subset = net.emptySet();
+    for (BlockId b : net.innerBlocks())
+      if (rng() % 2) subset.set(b);
+    counter.assign(subset);
+    expectMatchesBorderReference(net, counter, subset, trial);
+  }
+  counter.clear();
+  EXPECT_TRUE(counter.border().none());
+  // Reusable after clear(): a lone member is trivially border.
+  const BlockId first = net.innerBlocks().front();
+  counter.add(first);
+  EXPECT_TRUE(counter.border().test(first));
+  EXPECT_EQ(counter.rank(first),
+            removalRank(net, counter.members(), first));
+}
+
+// The incremental PareDown paths must never fall back to the full-scan
+// borderBlocks()/removalRank() references: the process-wide scan
+// counters stay flat across entire runs, on the paper designs and on
+// random networks (the trace observer included).
+TEST(PortCounter, PareDownMakesNoFullScanBorderOrRankQueries) {
+  std::vector<Network> nets;
+  nets.push_back(designs::figure5());
+  for (const std::uint32_t seed : {1u, 2u, 3u, 4u, 5u})
+    nets.push_back(
+        randgen::randomNetwork({.innerBlocks = 20, .seed = seed}));
+  for (const Network& net : nets) {
+    const PartitionProblem problem(net, ProgBlockSpec{});
+    const SubgraphScanCounts before = subgraphScanCounts();
+    PareDownOptions options;
+    int steps = 0;
+    options.trace = [&](const PareDownStep&) { ++steps; };
+    const PartitionRun run = pareDown(problem, options);
+    EXPECT_GT(steps, 0);
+    EXPECT_GT(run.explored, 0u);
+    const SubgraphScanCounts after = subgraphScanCounts();
+    EXPECT_EQ(after.borderScans, before.borderScans) << net.name();
+    EXPECT_EQ(after.rankScans, before.rankScans) << net.name();
+  }
+}
+
+TEST(PortCounter, MultiTypePareDownMakesNoFullScanBorderOrRankQueries) {
+  ProgCostModel model = ProgCostModel::paperDefault();
+  for (const std::uint32_t seed : {11u, 12u, 13u}) {
+    const Network net =
+        randgen::randomNetwork({.innerBlocks = 20, .seed = seed});
+    const SubgraphScanCounts before = subgraphScanCounts();
+    const TypedPartitionRun run = multiTypePareDown(net, model);
+    EXPECT_GT(run.explored, 0u);
+    const SubgraphScanCounts after = subgraphScanCounts();
+    EXPECT_EQ(after.borderScans, before.borderScans) << "seed " << seed;
+    EXPECT_EQ(after.rankScans, before.rankScans) << "seed " << seed;
+  }
+}
 
 TEST(PortCounter, SignalsModeSharesFanoutPorts) {
   // One inner block driving two external consumers from one output port

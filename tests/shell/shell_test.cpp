@@ -131,6 +131,31 @@ TEST(Shell, SynthByRegistryNameWithThreads) {
   EXPECT_NE(out.find("8 -> 3"), std::string::npos) << out;
 }
 
+TEST(Shell, SynthSchedulerArgument) {
+  Shell shell;
+  exec(shell, "design Podium Timer 3");
+  // Both schedulers reach the identical optimum; bogus names error out.
+  const std::string steal = exec(shell, "synth exhaustive 2 2 2 steal");
+  EXPECT_NE(steal.find("8 -> 3"), std::string::npos) << steal;
+  const std::string split =
+      exec(shell, "synth exhaustive 2 2 2 fixed-split");
+  EXPECT_NE(split.find("8 -> 3"), std::string::npos) << split;
+  EXPECT_NE(exec(shell, "synth exhaustive 2 2 2 bogus").find("error"),
+            std::string::npos);
+  // The scheduler is positional but must also parse when the numeric
+  // groups are omitted -- and bad names must error, not pass silently.
+  const std::string noThreads =
+      exec(shell, "synth exhaustive 2 2 fixed-split");
+  EXPECT_NE(noThreads.find("8 -> 3"), std::string::npos) << noThreads;
+  const std::string bare = exec(shell, "synth exhaustive steal");
+  EXPECT_NE(bare.find("8 -> 3"), std::string::npos) << bare;
+  EXPECT_NE(exec(shell, "synth exhaustive 2 2 bogus").find("error"),
+            std::string::npos);
+  // A half-given ports group must error, not silently default.
+  EXPECT_NE(exec(shell, "synth exhaustive 3 steal").find("usage"),
+            std::string::npos);
+}
+
 TEST(Shell, QuitStopsExecution) {
   Shell shell;
   std::ostringstream out;
