@@ -1,0 +1,104 @@
+// Machine-readable bench output: a bench collects flat records and
+// writes one JSON file ("eblocks-bench-partition/1" schema, documented
+// in docs/benchmarks.md) that scripts/compare_bench.py diffs against the
+// committed baseline in bench/baselines/ and CI uploads as an artifact.
+// Node counts -- not wall times -- are the regression signal: for
+// `deterministic` records (seeded serial searches) they are identical
+// across machines, compilers, and runs.
+//
+// Opt in per run with `--json=PATH` anywhere on the command line;
+// BenchJson::extractPath() removes it before positional parsing.
+#ifndef EBLOCKS_BENCH_BENCH_JSON_H_
+#define EBLOCKS_BENCH_BENCH_JSON_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace eblocks::bench {
+
+struct BenchRecord {
+  std::string workload;  ///< family + parameters; unique within a bench
+  /// True when `nodes` reproduces exactly run-to-run (seeded serial
+  /// search, no timeout).  compare_bench.py only diffs deterministic
+  /// records; the rest are informational.
+  bool deterministic = false;
+  std::uint64_t nodes = 0;          ///< explored search nodes
+  std::uint64_t nodesUnpruned = 0;  ///< ablation twin (0 = not measured)
+  std::uint64_t pruned = 0;  ///< subtrees cut by the admissible bound
+  double seconds = 0.0;      ///< wall time (informational only)
+  double cost = 0.0;         ///< solution cost (blocks or model cost)
+};
+
+/// Collects records for one bench binary and writes them as JSON.
+class BenchJson {
+ public:
+  /// Pulls `--json=PATH` out of argv (compacting it) so the benches'
+  /// positional parsing stays untouched.  Returns "" when absent.
+  static std::string extractPath(int& argc, char** argv) {
+    std::string path;
+    int w = 1;
+    for (int r = 1; r < argc; ++r) {
+      const std::string arg = argv[r];
+      if (arg.rfind("--json=", 0) == 0)
+        path = arg.substr(7);
+      else
+        argv[w++] = argv[r];
+    }
+    argc = w;
+    return path;
+  }
+
+  BenchJson(std::string benchName, std::string path)
+      : bench_(std::move(benchName)), path_(std::move(path)) {}
+
+  bool enabled() const { return !path_.empty(); }
+
+  void add(BenchRecord record) { records_.push_back(std::move(record)); }
+
+  /// Writes the collected records; true on success (and when disabled).
+  bool write() const {
+    if (!enabled()) return true;
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "bench-json: cannot write '%s'\n", path_.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n  \"schema\": \"eblocks-bench-partition/1\",\n");
+    std::fprintf(f, "  \"records\": [");
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      const BenchRecord& r = records_[i];
+      std::fprintf(f, "%s\n    {", i ? "," : "");
+      std::fprintf(f, "\"bench\": \"%s\", ", bench_.c_str());
+      std::fprintf(f, "\"workload\": \"%s\", ", r.workload.c_str());
+      std::fprintf(f, "\"deterministic\": %s, ",
+                   r.deterministic ? "true" : "false");
+      std::fprintf(f, "\"nodes\": %llu, ",
+                   static_cast<unsigned long long>(r.nodes));
+      if (r.nodesUnpruned)
+        std::fprintf(f, "\"nodes_unpruned\": %llu, ",
+                     static_cast<unsigned long long>(r.nodesUnpruned));
+      std::fprintf(f, "\"pruned\": %llu, ",
+                   static_cast<unsigned long long>(r.pruned));
+      std::fprintf(f, "\"seconds\": %.6f, ", r.seconds);
+      std::fprintf(f, "\"cost\": %g}", r.cost);
+    }
+    std::fprintf(f, "\n  ]\n}\n");
+    const bool ok = std::fclose(f) == 0;
+    if (ok)
+      std::printf("bench-json: wrote %zu records to %s\n", records_.size(),
+                  path_.c_str());
+    return ok;
+  }
+
+ private:
+  std::string bench_;
+  std::string path_;
+  std::vector<BenchRecord> records_;
+};
+
+}  // namespace eblocks::bench
+
+#endif  // EBLOCKS_BENCH_BENCH_JSON_H_

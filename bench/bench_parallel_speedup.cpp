@@ -26,11 +26,17 @@
 // and node count.
 //
 // Usage: bench_parallel_speedup [max-inner] [per-size] [threads] [limit-s]
+//                               [--json=PATH]
+// With --json the per-size serial/parallel node counts and the
+// hub-and-spoke face-off are recorded as "eblocks-bench-partition/1"
+// records; the serial rows are deterministic and diffed against the
+// committed baseline by scripts/compare_bench.py.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 
+#include "bench_json.h"
 #include "blocks/catalog.h"
 #include "partition/exhaustive.h"
 #include "partition/multitype.h"
@@ -102,13 +108,20 @@ Network hubAndSpoke(int chainLen) {
 /// Serial vs both schedulers on the hub-and-spoke tree.  Returns false
 /// when a completed run diverges from serial or work-stealing falls
 /// behind fixed-split beyond the noise tolerance.
-bool unbalancedFaceOff(int threads, double limit) {
+bool unbalancedFaceOff(int threads, double limit,
+                       eblocks::bench::BenchJson& json) {
   const Network net = hubAndSpoke(2);
   const int n = static_cast<int>(net.innerBlocks().size());
   const partition::PartitionProblem problem(net, {});
 
   partition::ExhaustiveOptions base;
   base.timeLimitSeconds = limit;  // no seed: the bound must be discovered
+  // The face-off measures how the schedulers cope with a *weakly
+  // bounded* unbalanced tree, so the admissible pruning layer is
+  // disabled here -- with it on, this workload collapses to a few
+  // thousand nodes and both schedulers finish instantly
+  // (bench_exhaustive_blowup measures that effect).
+  base.pruningBound = false;
 
   partition::ExhaustiveOptions serialOptions = base;
   serialOptions.threads = 1;
@@ -125,7 +138,7 @@ bool unbalancedFaceOff(int threads, double limit) {
   const auto steal = partition::exhaustiveSearch(problem, stealOptions);
 
   std::printf("\nUnbalanced hub-and-spoke tree (%d inner, unseeded, "
-              "%d threads, limit %.0fs)\n", n, threads, limit);
+              "unpruned, %d threads, limit %.0fs)\n", n, threads, limit);
   const auto row = [&](const char* label,
                        const partition::PartitionRun& run) {
     std::printf("  %-13s %8.3fs %14llu nodes  cost %2d  imbalance %.2f%s\n",
@@ -137,6 +150,22 @@ bool unbalancedFaceOff(int threads, double limit) {
   row("serial", serial);
   row("fixed-split", fixed);
   row("work-stealing", steal);
+  json.add(eblocks::bench::BenchRecord{
+      .workload = "hub_spoke/serial/threads=1",
+      .deterministic = !serial.timedOut,
+      .nodes = serial.explored,
+      .nodesUnpruned = 0,
+      .pruned = serial.pruned,
+      .seconds = serial.seconds,
+      .cost = static_cast<double>(serial.result.totalAfter(n))});
+  json.add(eblocks::bench::BenchRecord{
+      .workload = "hub_spoke/steal/threads=" + std::to_string(threads),
+      .deterministic = false,  // steal timing varies node counts
+      .nodes = steal.explored,
+      .nodesUnpruned = 0,
+      .pruned = steal.pruned,
+      .seconds = steal.seconds,
+      .cost = static_cast<double>(steal.result.totalAfter(n))});
 
   if (serial.timedOut) {
     std::printf("  serial hit the limit; raise [limit-s] to compare "
@@ -176,6 +205,8 @@ bool unbalancedFaceOff(int threads, double limit) {
 
 int main(int argc, char** argv) {
   using namespace eblocks;
+  const std::string jsonPath = bench::BenchJson::extractPath(argc, argv);
+  bench::BenchJson json("bench_parallel_speedup", jsonPath);
   const int maxInner = argc > 1 ? std::atoi(argv[1]) : 17;
   const int perSize = argc > 2 ? std::atoi(argv[2]) : 3;
   const int threads = argc > 3 ? std::atoi(argv[3])
@@ -194,8 +225,9 @@ int main(int argc, char** argv) {
   for (int n = 11; n <= maxInner; n += 2) {
     double serialTime = 0, parallelTime = 0;
     double serialNodes = 0, parallelNodes = 0;
-    int cost = 0;
-    bool identical = true;
+    double serialPruned = 0;
+    int cost = 0, costSum = 0;
+    bool identical = true, completed = true;
     for (int d = 0; d < perSize; ++d) {
       const auto net = randgen::randomNetwork(
           {.innerBlocks = n,
@@ -219,7 +251,10 @@ int main(int argc, char** argv) {
       parallelTime += parallel.seconds;
       serialNodes += static_cast<double>(serial.explored);
       parallelNodes += static_cast<double>(parallel.explored);
+      serialPruned += static_cast<double>(serial.pruned);
       cost = parallel.result.totalAfter(n);
+      costSum += cost;
+      completed = completed && !serial.timedOut && !parallel.timedOut;
       identical = identical && identicalRuns(serial, parallel, n);
     }
     allIdentical = allIdentical && identical;
@@ -228,6 +263,25 @@ int main(int argc, char** argv) {
                 parallelTime > 0 ? serialTime / parallelTime : 0.0,
                 serialNodes / perSize, parallelNodes / perSize, cost,
                 identical ? "yes" : "NO");
+    json.add(bench::BenchRecord{
+        .workload = "random/n=" + std::to_string(n) +
+                    "/per=" + std::to_string(perSize) + "/serial",
+        .deterministic = completed,
+        .nodes = static_cast<std::uint64_t>(serialNodes),
+        .nodesUnpruned = 0,
+        .pruned = static_cast<std::uint64_t>(serialPruned),
+        .seconds = serialTime,
+        .cost = costSum});
+    json.add(bench::BenchRecord{
+        .workload = "random/n=" + std::to_string(n) +
+                    "/per=" + std::to_string(perSize) + "/threads=" +
+                    std::to_string(threads),
+        .deterministic = false,  // steal timing varies node counts
+        .nodes = static_cast<std::uint64_t>(parallelNodes),
+        .nodesUnpruned = 0,
+        .pruned = 0,
+        .seconds = parallelTime,
+        .cost = costSum});
   }
 
   // The multi-type search shares the same engine; spot-check one size.
@@ -259,7 +313,8 @@ int main(int argc, char** argv) {
                 parallel.result.totalCost(n, model), same ? "yes" : "NO");
   }
 
-  allIdentical = unbalancedFaceOff(threads, limit) && allIdentical;
+  allIdentical = unbalancedFaceOff(threads, limit, json) && allIdentical;
+  allIdentical = json.write() && allIdentical;
 
   std::printf("\nall results identical to serial (and work-stealing >= "
               "fixed-split): %s\n", allIdentical ? "yes" : "NO");

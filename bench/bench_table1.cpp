@@ -3,13 +3,17 @@
 // programmable blocks, time, block overhead, % overhead) plus the paper's
 // reported values for side-by-side comparison.
 //
-// Usage: bench_table1 [exhaustive-time-limit-seconds]
+// Usage: bench_table1 [exhaustive-time-limit-seconds] [--json=PATH]
 //   Designs whose exhaustive run exceeds the limit print "--", like the
-//   paper's rows for 19+ inner blocks.
+//   paper's rows for 19+ inner blocks.  With --json every design's run is
+//   recorded as an "eblocks-bench-partition/1" record (non-deterministic:
+//   the exhaustive run is parallel and time-limited; see
+//   docs/benchmarks.md).
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 
+#include "bench_json.h"
 #include "designs/library.h"
 #include "partition/exhaustive.h"
 #include "partition/paredown.h"
@@ -32,6 +36,9 @@ std::string ms(double seconds) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const std::string jsonPath =
+      eblocks::bench::BenchJson::extractPath(argc, argv);
+  eblocks::bench::BenchJson json("bench_table1", jsonPath);
   const double timeLimit = argc > 1 ? std::atof(argv[1]) : 60.0;
   std::printf("Table 1 reproduction: library designs, programmable block "
               "2x2, edge counting\n");
@@ -92,6 +99,19 @@ int main(int argc, char** argv) {
         "%-26s %5d | %10s %9s %9s | %10d %9d %9s | %8s %9s | %s\n",
         entry.name.c_str(), n, exTotal, exProg, exTime, pdTotal, pdProg,
         ms(pd.seconds).c_str(), overhead, pctOverhead, paperCol);
+
+    std::string workload = "table1/" + entry.name;
+    for (char& c : workload)
+      if (c == ' ') c = '_';
+    json.add(eblocks::bench::BenchRecord{
+        .workload = workload,
+        .deterministic = false,  // parallel, time-limited
+        .nodes = ex.explored,
+        .nodesUnpruned = 0,
+        .pruned = ex.pruned,
+        .seconds = ex.seconds,
+        .cost = static_cast<double>(ex.optimal ? ex.result.totalAfter(n)
+                                               : pdTotal)});
   }
-  return 0;
+  return json.write() ? 0 : 1;
 }

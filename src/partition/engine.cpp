@@ -42,7 +42,7 @@ class ExhaustiveStrategy final : public Partitioner {
   std::string name() const override { return "exhaustive"; }
   std::string description() const override {
     return "optimal work-stealing branch-and-bound (Section 4.1), "
-           "PareDown-seeded";
+           "PareDown-seeded, admissible-bound pruned";
   }
   PartitionRun run(const PartitionProblem& problem,
                    const EngineOptions& options) const override {
@@ -51,6 +51,7 @@ class ExhaustiveStrategy final : public Partitioner {
     ex.requireConvex = options.requireConvex;
     ex.threads = options.threads;
     ex.scheduler = options.scheduler;
+    ex.pruningBound = options.pruningBound;
     if (options.seedFromPareDown) ex.seed = pareDown(problem).result;
     return exhaustiveSearch(problem, ex);
   }
@@ -73,7 +74,7 @@ class MultiTypeExhaustiveStrategy final : public TypedPartitioner {
   std::string name() const override { return "exhaustive"; }
   std::string description() const override {
     return "optimal work-stealing branch-and-bound over types and "
-           "assignments";
+           "assignments, admissible-bound pruned";
   }
   TypedPartitionRun run(const Network& net, const ProgCostModel& model,
                         const EngineOptions& options) const override {
@@ -81,6 +82,7 @@ class MultiTypeExhaustiveStrategy final : public TypedPartitioner {
     ex.timeLimitSeconds = options.timeLimitSeconds;
     ex.threads = options.threads;
     ex.scheduler = options.scheduler;
+    ex.pruningBound = options.pruningBound;
     if (options.seedFromPareDown)
       ex.seed = multiTypePareDown(net, model).result;
     return multiTypeExhaustive(net, model, ex);

@@ -45,6 +45,11 @@ struct EngineOptions {
   /// solution by default -- a pure accelerator that never changes the
   /// optimum.  Disable to measure the unseeded search.
   bool seedFromPareDown = true;
+  /// Admissible lower-bound pruning for the exhaustive strategies
+  /// (irreducible-I/O floors; see exhaustive.h).  Like the seed, a pure
+  /// accelerator: results are bit-identical on or off.  Disable to
+  /// measure the unpruned search (bench_exhaustive_blowup ablates it).
+  bool pruningBound = true;
 };
 
 /// A partitioning strategy for the plain (single block type) problem.

@@ -50,6 +50,24 @@ struct SearchContext {
       for (const Connection& c : net.outputsOf(b))
         if (!net.isInner(c.to.block)) ++fixedOut[b];
     }
+    if (o.pruningBound) {
+      // The admissible-bound layer's static half: the frozen-set root
+      // (non-inner blocks can never join any bin) and the unbinnable
+      // suffix floor -- a block whose own mode-aware irreducible I/O
+      // exceeds the budget is coverable by no feasible bin, so every
+      // valid completion leaves it uncovered at cost +1.
+      baseFrozen = BitSet(net.blockCount());
+      for (BlockId b = 0; b < net.blockCount(); ++b)
+        if (!net.isInner(b)) baseFrozen.set(b);
+      suffixUnbinnable.assign(inner.size() + 1, 0);
+      for (std::size_t i = inner.size(); i-- > 0;) {
+        const IoCount own =
+            irreducibleBlockIo(net, inner[i], p.spec().mode);
+        const bool unbinnable = own.inputs > p.spec().inputs ||
+                                own.outputs > p.spec().outputs;
+        suffixUnbinnable[i] = suffixUnbinnable[i + 1] + (unbinnable ? 1 : 0);
+      }
+    }
   }
 
   const PartitionProblem& problem;
@@ -58,6 +76,9 @@ struct SearchContext {
   bool edgesMode;
   const std::vector<BlockId>& inner;
   std::vector<int> fixedIn, fixedOut;
+  // pruningBound statics (empty / unused when the layer is off).
+  std::vector<int> suffixUnbinnable;
+  BitSet baseFrozen;
   /// Cost of the initial incumbent (seed or "replace nothing").
   int initialBound = 0;
   Clock::time_point deadline;
@@ -114,6 +135,8 @@ class Worker {
         shared_(shared),
         pool_(pool),
         workerId_(workerId),
+        pruning_(ctx.options.pruningBound),
+        frozen_(ctx.baseFrozen),
         bestKey_(packKey(ctx.initialBound, 0)) {
     bins_.reserve(ctx.inner.size() + 1);
     choice_.reserve(ctx.inner.size());
@@ -126,23 +149,30 @@ class Worker {
     int uncovered = 0;
     for (std::size_t i = 0; i < task.choice.size(); ++i) {
       const std::int16_t c = task.choice[i];
+      const BlockId b = ctx_.inner[i];
       if (c == kUncovered) {
         ++uncovered;
+        if (pruning_) freezeAssigned(b, kNoOwnBin);
         continue;
       }
       if (static_cast<std::size_t>(c) == binCount_) openBin();
-      addToBin(static_cast<std::size_t>(c), ctx_.inner[i]);
+      addToBin(static_cast<std::size_t>(c), b);
+      if (pruning_) freezeAssigned(b, static_cast<std::size_t>(c));
     }
     dfs(task.choice.size(), uncovered, task.ordLo, task.ordHi);
   }
 
   std::uint64_t explored() const { return explored_; }
+  std::uint64_t pruned() const { return pruned_; }
   std::uint64_t bestKey() const { return bestKey_; }
   Partitioning takeBest() { return std::move(best_); }
 
  private:
+  static constexpr std::size_t kNoOwnBin = static_cast<std::size_t>(-1);
+
   struct Bin {
-    Bin(const Network& net, CountingMode mode) : counter(net, mode) {}
+    Bin(const Network& net, CountingMode mode, const BitSet* frozen)
+        : counter(net, mode, BorderTracking::kOff, frozen) {}
     PortCounter counter;
     int fixedIn = 0;   // irreducible inputs (edges from non-inner blocks)
     int fixedOut = 0;  // irreducible outputs (edges to non-inner blocks)
@@ -155,12 +185,40 @@ class Worker {
       bins_[j].fixedOut = 0;
     }
     binCount_ = 0;
+    if (pruning_) frozen_ = ctx_.baseFrozen;
   }
 
   void openBin() {
     if (binCount_ == bins_.size())
-      bins_.emplace_back(ctx_.net, ctx_.problem.spec().mode);
+      bins_.emplace_back(ctx_.net, ctx_.problem.spec().mode,
+                         pruning_ ? &frozen_ : nullptr);
     ++binCount_;
+  }
+
+  /// Marks just-assigned block `b` frozen (its fate is fixed for the
+  /// whole subtree) and tells every *other* open bin, whose crossing
+  /// edges to `b` just turned irreducible.  `own` is the bin `b` joined
+  /// (kNoOwnBin when left uncovered).
+  void freezeAssigned(BlockId b, std::size_t own) {
+    frozen_.set(b);
+    for (std::size_t j = 0; j < binCount_; ++j)
+      if (j != own) bins_[j].counter.freeze(b);
+  }
+
+  void unfreezeAssigned(BlockId b, std::size_t own) {
+    for (std::size_t j = 0; j < binCount_; ++j)
+      if (j != own) bins_[j].counter.unfreeze(b);
+    frozen_.reset(b);
+  }
+
+  /// True when some open bin's irreducible crossing I/O already exceeds
+  /// the port budget: every completion of this subtree keeps that I/O
+  /// crossing, so no valid leaf exists below.
+  bool binInfeasible() const {
+    for (std::size_t j = 0; j < binCount_; ++j)
+      if (!fits(bins_[j].counter.fixedIo(), ctx_.problem.spec()))
+        return true;
+    return false;
   }
 
   void addToBin(std::size_t j, BlockId b) {
@@ -215,6 +273,19 @@ class Worker {
     // uncovered block stays uncovered.
     const int costSoFar = static_cast<int>(binCount_) + uncovered;
     if (boundPrunes(costSoFar, lo)) return;
+    if (pruning_) {
+      // The admissible layer: remaining unbinnable blocks each add +1 to
+      // any valid completion, and a bin whose irreducible I/O already
+      // overflows admits no valid completion at all.  Counted as a
+      // pruned subtree only here, where the baseline bound above did not
+      // already cut the node.
+      const int floor = ctx_.suffixUnbinnable[idx];
+      if ((floor > 0 && boundPrunes(costSoFar + floor, lo)) ||
+          binInfeasible()) {
+        ++pruned_;
+        return;
+      }
+    }
     if (idx == ctx_.inner.size()) {
       finish(uncovered, lo);
       return;
@@ -269,20 +340,35 @@ class Worker {
     for (std::size_t j = 0; j < openBins; ++j) {
       if (fixedOverflow(j, b)) continue;  // irreducible I/O over budget
       visit(static_cast<std::int16_t>(j), uncovered,
-            [&] { addToBin(j, b); }, [&] { removeFromBin(j, b); });
+            [&] {
+              addToBin(j, b);
+              if (pruning_) freezeAssigned(b, j);
+            },
+            [&] {
+              if (pruning_) unfreezeAssigned(b, j);
+              removeFromBin(j, b);
+            });
     }
     if (newBin) {
       visit(static_cast<std::int16_t>(openBins), uncovered,
             [&] {
               openBin();
               addToBin(binCount_ - 1, b);
+              if (pruning_) freezeAssigned(b, binCount_ - 1);
             },
             [&] {
+              if (pruning_) unfreezeAssigned(b, binCount_ - 1);
               removeFromBin(binCount_ - 1, b);
               --binCount_;
             });
     }
-    visit(kUncovered, uncovered + 1, [] {}, [] {});
+    visit(kUncovered, uncovered + 1,
+          [&] {
+            if (pruning_) freezeAssigned(b, kNoOwnBin);
+          },
+          [&] {
+            if (pruning_) unfreezeAssigned(b, kNoOwnBin);
+          });
   }
 
   void finish(int uncovered, std::uint32_t lo) {
@@ -354,6 +440,8 @@ class Worker {
   SharedState& shared_;
   detail::WorkStealingPool<Task>* pool_;  // null = no splitting (fixed mode)
   int workerId_ = 0;
+  bool pruning_ = false;
+  BitSet frozen_;  // non-inner + assigned prefix; bins point at this
   std::vector<Bin> bins_;  // pool; the first binCount_ entries are live
   std::size_t binCount_ = 0;
   std::vector<std::int16_t> choice_;  // live assignment of blocks [0, idx)
@@ -361,6 +449,7 @@ class Worker {
   std::uint64_t bestKey_;
   Partitioning best_;
   std::uint64_t explored_ = 0;
+  std::uint64_t pruned_ = 0;
   bool aborted_ = false;
 };
 
@@ -483,6 +572,7 @@ PartitionRun exhaustiveSearch(const PartitionProblem& problem,
   std::uint64_t explored = 0;
   std::vector<std::unique_ptr<Worker>> workers;
   std::atomic<std::uint64_t> totalExplored{0};
+  std::atomic<std::uint64_t> totalPruned{0};
 
   if (options.scheduler == SearchScheduler::kFixedSplit && threads > 1 &&
       n >= 2) {
@@ -518,6 +608,7 @@ PartitionRun exhaustiveSearch(const PartitionProblem& problem,
       }
       totalExplored.fetch_add(worker->explored(),
                               std::memory_order_relaxed);
+      totalPruned.fetch_add(worker->pruned(), std::memory_order_relaxed);
       workers[static_cast<std::size_t>(w)] = std::move(worker);
     });
   } else {
@@ -538,6 +629,7 @@ PartitionRun exhaustiveSearch(const PartitionProblem& problem,
       }
       totalExplored.fetch_add(worker->explored(),
                               std::memory_order_relaxed);
+      totalPruned.fetch_add(worker->pruned(), std::memory_order_relaxed);
       workers[static_cast<std::size_t>(w)] = std::move(worker);
     });
   }
@@ -557,10 +649,14 @@ PartitionRun exhaustiveSearch(const PartitionProblem& problem,
   }
   if (workers.size() > 1)
     for (const auto& worker : workers)
-      if (worker) out.workerExplored.push_back(worker->explored());
+      if (worker) {
+        out.workerExplored.push_back(worker->explored());
+        out.workerPruned.push_back(worker->pruned());
+      }
 
   out.result = std::move(best);
   out.explored = explored;
+  out.pruned = totalPruned.load(std::memory_order_relaxed);
   out.timedOut = shared.timedOut.load(std::memory_order_relaxed);
   out.optimal = !out.timedOut;
   out.seconds = std::chrono::duration<double>(Clock::now() - start).count();

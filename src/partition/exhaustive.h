@@ -14,6 +14,17 @@
 //     the port budget is dead (edge-counting mode only).
 // An optional initial solution (e.g. PareDown's) seeds the bound.
 //
+// On top of those, ExhaustiveOptions::pruningBound (default on) enables
+// the admissible lower-bound layer: per-bin *irreducible* crossing I/O
+// (signals to non-inner blocks and to blocks the search already fixed
+// elsewhere -- maintained incrementally by PortCounter's frozen-set
+// tracking, sound in both counting modes) kills subtrees whose bins can
+// no longer fit any completion, and a per-block unbinnable floor adds
+// the cost every remaining unplaceable block must pay.  The bound is
+// admissible (never exceeds the cost of any valid completion), so
+// results stay bit-identical to the unpruned search; see
+// docs/partitioning.md for the derivation and soundness argument.
+//
 // With threads != 1 the search runs as a parallel branch-and-bound.
 // Workers share the incumbent bound through an atomic packed
 // (cost, DFS-ordinal) key, and every subtree handed to a worker carries a
@@ -63,6 +74,12 @@ struct ExhaustiveOptions {
   /// Both schedulers return the identical result; work-stealing
   /// rebalances unbalanced trees that starve the fixed split.
   SearchScheduler scheduler = SearchScheduler::kWorkStealing;
+  /// Admissible lower-bound pruning (see the header comment).  Purely an
+  /// accelerator: the result is bit-identical with it on or off, at
+  /// every thread count, under both schedulers, in both counting modes.
+  /// Off exists for measurement (bench_exhaustive_blowup ablates it) and
+  /// as the equivalence-test baseline.
+  bool pruningBound = true;
 };
 
 /// Runs the exhaustive search.  `run.optimal` is true iff the search

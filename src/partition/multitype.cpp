@@ -15,6 +15,7 @@
 #include "core/levels.h"
 #include "partition/exhaustive.h"
 #include "partition/port_counter.h"
+#include "partition/validity.h"
 #include "partition/work_steal.h"
 
 namespace eblocks::partition {
@@ -212,6 +213,20 @@ struct MultiContext {
     for (const ProgBlockOption& opt : m.options)
       minOptionCost = std::min(minOptionCost, opt.cost);
     if (m.options.empty()) minOptionCost = 0;
+    if (o.pruningBound) {
+      // Static half of the admissible bound: the frozen-set root and the
+      // unbinnable suffix -- a block whose own irreducible I/O fits no
+      // option stays a pre-defined block in every valid completion.
+      baseFrozen = BitSet(n.blockCount());
+      for (BlockId b = 0; b < n.blockCount(); ++b)
+        if (!n.isInner(b)) baseFrozen.set(b);
+      suffixUnbinnable.assign(inner.size() + 1, 0);
+      for (std::size_t i = inner.size(); i-- > 0;) {
+        const IoCount own = irreducibleBlockIo(n, inner[i], m.mode);
+        const bool unbinnable = !cheapestFittingOption(own, m).has_value();
+        suffixUnbinnable[i] = suffixUnbinnable[i + 1] + (unbinnable ? 1 : 0);
+      }
+    }
   }
 
   const Network& net;
@@ -219,6 +234,9 @@ struct MultiContext {
   const MultiTypeExhaustiveOptions& options;
   std::vector<BlockId> inner;
   double minOptionCost = 0;
+  // pruningBound statics (empty / unused when the layer is off).
+  std::vector<int> suffixUnbinnable;
+  BitSet baseFrozen;
   double initialBound = 0;
   Clock::time_point deadline;
 };
@@ -231,6 +249,8 @@ class MultiWorker {
         shared_(shared),
         pool_(pool),
         workerId_(workerId),
+        pruning_(ctx.options.pruningBound),
+        frozen_(ctx.baseFrozen),
         bestCost_(ctx.initialBound) {
     bins_.reserve(ctx.inner.size() + 1);
     choice_.reserve(ctx.inner.size());
@@ -243,31 +263,54 @@ class MultiWorker {
     int uncovered = 0;
     for (std::size_t i = 0; i < task.choice.size(); ++i) {
       const std::int16_t c = task.choice[i];
+      const BlockId b = ctx_.inner[i];
       if (c == kUncovered) {
         ++uncovered;
+        if (pruning_) freezeAssigned(b, kNoOwnBin);
         continue;
       }
       if (static_cast<std::size_t>(c) == binCount_) openBin();
-      bins_[static_cast<std::size_t>(c)].add(ctx_.inner[i]);
+      bins_[static_cast<std::size_t>(c)].add(b);
+      if (pruning_) freezeAssigned(b, static_cast<std::size_t>(c));
     }
     dfs(task.choice.size(), uncovered, task.ordLo, task.ordHi);
   }
 
   std::uint64_t explored() const { return explored_; }
+  std::uint64_t pruned() const { return pruned_; }
   double bestCost() const { return bestCost_; }
   std::uint32_t bestOrdinal() const { return bestOrd_; }
   TypedPartitioning takeBest() { return std::move(best_); }
 
  private:
+  static constexpr std::size_t kNoOwnBin = static_cast<std::size_t>(-1);
+
   void resetBins() {
     for (std::size_t j = 0; j < binCount_; ++j) bins_[j].clear();
     binCount_ = 0;
+    if (pruning_) frozen_ = ctx_.baseFrozen;
   }
 
   void openBin() {
     if (binCount_ == bins_.size())
-      bins_.emplace_back(ctx_.net, ctx_.model.mode);
+      bins_.emplace_back(ctx_.net, ctx_.model.mode, BorderTracking::kOff,
+                         pruning_ ? &frozen_ : nullptr);
     ++binCount_;
+  }
+
+  /// See Worker::freezeAssigned in exhaustive.cpp: just-assigned `b` is
+  /// fixed for the whole subtree, so every other bin's crossing edges to
+  /// it turn irreducible.
+  void freezeAssigned(BlockId b, std::size_t own) {
+    frozen_.set(b);
+    for (std::size_t j = 0; j < binCount_; ++j)
+      if (j != own) bins_[j].freeze(b);
+  }
+
+  void unfreezeAssigned(BlockId b, std::size_t own) {
+    for (std::size_t j = 0; j < binCount_; ++j)
+      if (j != own) bins_[j].unfreeze(b);
+    frozen_.reset(b);
   }
 
   bool timeExpired() {
@@ -287,13 +330,41 @@ class MultiWorker {
            std::uint32_t hi) {
     ++explored_;
     if (timeExpired()) return;
-    const double lowerBound =
+    // Baseline bound first (cheap, and pruning here keeps the admissible
+    // layer off the node entirely -- mirrors exhaustive.cpp).  The
+    // strengthened bound dominates the weak one, so the set of pruned
+    // nodes is identical either way; only the work per node changes.
+    const double weakBound =
         static_cast<double>(binCount_) * ctx_.minOptionCost +
         ctx_.model.preDefinedBlockCost * uncovered;
-    if (lowerBound + kCostSlack >= localBest_) return;
-    if (lowerBound >
-        shared_.liveCost.load(std::memory_order_relaxed) + kCostSlack)
-      return;
+    const double live = shared_.liveCost.load(std::memory_order_relaxed);
+    if (weakBound + kCostSlack >= localBest_) return;
+    if (weakBound > live + kCostSlack) return;
+    if (pruning_) {
+      // The admissible layer: each bin's final option must fit its
+      // irreducible crossing I/O, so the cheapest such option floors the
+      // bin's cost (none fitting kills the subtree outright); remaining
+      // unbinnable blocks each stay pre-defined.  Counted as a pruned
+      // subtree only here, past the baseline checks above.
+      double binFloor = 0;
+      for (std::size_t j = 0; j < binCount_; ++j) {
+        const auto opt = cheapestFittingOption(bins_[j].fixedIo(),
+                                               ctx_.model);
+        if (!opt) {
+          ++pruned_;
+          return;
+        }
+        binFloor += ctx_.model.options[static_cast<std::size_t>(*opt)].cost;
+      }
+      const double lowerBound =
+          binFloor + ctx_.model.preDefinedBlockCost *
+                         (uncovered + ctx_.suffixUnbinnable[idx]);
+      if (lowerBound + kCostSlack >= localBest_ ||
+          lowerBound > live + kCostSlack) {
+        ++pruned_;
+        return;
+      }
+    }
     if (idx == ctx_.inner.size()) {
       finish(uncovered, lo);
       return;
@@ -331,18 +402,33 @@ class MultiWorker {
     };
     for (std::size_t j = 0; j < openBins; ++j) {
       visit(static_cast<std::int16_t>(j), uncovered,
-            [&] { bins_[j].add(b); }, [&] { bins_[j].remove(b); });
+            [&] {
+              bins_[j].add(b);
+              if (pruning_) freezeAssigned(b, j);
+            },
+            [&] {
+              if (pruning_) unfreezeAssigned(b, j);
+              bins_[j].remove(b);
+            });
     }
     visit(static_cast<std::int16_t>(openBins), uncovered,
           [&] {
             openBin();
             bins_[binCount_ - 1].add(b);
+            if (pruning_) freezeAssigned(b, binCount_ - 1);
           },
           [&] {
+            if (pruning_) unfreezeAssigned(b, binCount_ - 1);
             bins_[binCount_ - 1].remove(b);
             --binCount_;
           });
-    visit(kUncovered, uncovered + 1, [] {}, [] {});
+    visit(kUncovered, uncovered + 1,
+          [&] {
+            if (pruning_) freezeAssigned(b, kNoOwnBin);
+          },
+          [&] {
+            if (pruning_) unfreezeAssigned(b, kNoOwnBin);
+          });
   }
 
   void finish(int uncovered, std::uint32_t lo) {
@@ -375,6 +461,8 @@ class MultiWorker {
   MultiShared& shared_;
   detail::WorkStealingPool<MultiTask>* pool_;  // null = no splitting
   int workerId_ = 0;
+  bool pruning_ = false;
+  BitSet frozen_;  // non-inner + assigned prefix; bins point at this
   std::vector<PortCounter> bins_;  // pool; first binCount_ entries live
   std::size_t binCount_ = 0;
   std::vector<std::int16_t> choice_;  // live assignment of blocks [0, idx)
@@ -383,6 +471,7 @@ class MultiWorker {
   std::uint32_t bestOrd_ = 0;
   TypedPartitioning best_;
   std::uint64_t explored_ = 0;
+  std::uint64_t pruned_ = 0;
   bool aborted_ = false;
 };
 
@@ -472,6 +561,7 @@ TypedPartitionRun multiTypeExhaustive(
   std::uint64_t explored = 0;
   std::vector<std::unique_ptr<MultiWorker>> workers;
   std::atomic<std::uint64_t> totalExplored{0};
+  std::atomic<std::uint64_t> totalPruned{0};
 
   if (options.scheduler == SearchScheduler::kFixedSplit && threads > 1 &&
       n >= 2) {
@@ -503,6 +593,7 @@ TypedPartitionRun multiTypeExhaustive(
       }
       totalExplored.fetch_add(worker->explored(),
                               std::memory_order_relaxed);
+      totalPruned.fetch_add(worker->pruned(), std::memory_order_relaxed);
       workers[static_cast<std::size_t>(w)] = std::move(worker);
     });
   } else {
@@ -521,6 +612,7 @@ TypedPartitionRun multiTypeExhaustive(
       }
       totalExplored.fetch_add(worker->explored(),
                               std::memory_order_relaxed);
+      totalPruned.fetch_add(worker->pruned(), std::memory_order_relaxed);
       workers[static_cast<std::size_t>(w)] = std::move(worker);
     });
   }
@@ -547,10 +639,14 @@ TypedPartitionRun multiTypeExhaustive(
   }
   if (workers.size() > 1)
     for (const auto& worker : workers)
-      if (worker) out.workerExplored.push_back(worker->explored());
+      if (worker) {
+        out.workerExplored.push_back(worker->explored());
+        out.workerPruned.push_back(worker->pruned());
+      }
 
   out.result = std::move(best);
   out.explored = explored;
+  out.pruned = totalPruned.load(std::memory_order_relaxed);
   out.timedOut = shared.timedOut.load(std::memory_order_relaxed);
   out.optimal = !out.timedOut;
   out.seconds = std::chrono::duration<double>(Clock::now() - start).count();

@@ -62,9 +62,14 @@ struct TypedPartitionRun {
   bool optimal = false;
   bool timedOut = false;
   std::uint64_t explored = 0;
+  /// Subtrees cut by the admissible lower-bound layer beyond the
+  /// baseline cost bound; see PartitionRun::pruned.
+  std::uint64_t pruned = 0;
   /// Per-worker explored counts (parallel searches only); see
   /// PartitionRun::workerExplored.
   std::vector<std::uint64_t> workerExplored;
+  /// Per-worker counterpart of `pruned` (parallel to workerExplored).
+  std::vector<std::uint64_t> workerPruned;
 };
 
 /// Index of the cheapest option that fits the subgraph, or nullopt.
@@ -93,6 +98,13 @@ struct MultiTypeExhaustiveOptions {
   int threads = 0;
   /// Subtree distribution policy, as in ExhaustiveOptions::scheduler.
   SearchScheduler scheduler = SearchScheduler::kWorkStealing;
+  /// Admissible lower-bound pruning, generalized to the cost model: each
+  /// bin's future option cost is floored by the cheapest option fitting
+  /// its *irreducible* crossing I/O (a bin fitting no option kills the
+  /// subtree), and remaining blocks no option can ever host each add
+  /// preDefinedBlockCost.  Bit-identical results on or off; see
+  /// exhaustive.h and docs/partitioning.md.
+  bool pruningBound = true;
 };
 
 /// Exhaustive branch-and-bound over assignments and option choices.

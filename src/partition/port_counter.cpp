@@ -6,31 +6,45 @@ void PortCounter::add(BlockId b) {
   // Classify b's edges against the membership *before* b joins.  An edge
   // between b and a member stops crossing the boundary; an edge between b
   // and a non-member starts crossing it.
+  //
+  // Irreducible tracking rides along: a new crossing edge is irreducible
+  // iff its outside endpoint is frozen.  The internalized edges need no
+  // fixed_ updates -- their outside endpoint was b itself, which must be
+  // un-frozen at add() time (see the header contract), so they were
+  // never counted as irreducible.
   if (mode_ == CountingMode::kEdges) {
     for (const Connection& c : net_->inputsOf(b)) {
-      if (members_.test(c.from.block))
+      if (members_.test(c.from.block)) {
         --io_.outputs;  // member -> b: was an output edge, now internal
-      else
+      } else {
         ++io_.inputs;  // outside -> b: new input edge
+        if (frozen_ && frozen_->test(c.from.block)) ++fixed_.inputs;
+      }
     }
     for (const Connection& c : net_->outputsOf(b)) {
-      if (members_.test(c.to.block))
+      if (members_.test(c.to.block)) {
         --io_.inputs;  // b -> member: was an input edge, now internal
-      else
+      } else {
         ++io_.outputs;  // b -> outside: new output edge
+        if (frozen_ && frozen_->test(c.to.block)) ++fixed_.outputs;
+      }
     }
   } else {
     for (const Connection& c : net_->inputsOf(b)) {
-      if (members_.test(c.from.block))
+      if (members_.test(c.from.block)) {
         decOut(c.from);  // member endpoint fed b from outside the set
-      else
+      } else {
         incIn(c.from);  // external endpoint now feeds the set
+        if (frozen_ && frozen_->test(c.from.block)) fixedIncIn(c.from);
+      }
     }
     for (const Connection& c : net_->outputsOf(b)) {
-      if (members_.test(c.to.block))
+      if (members_.test(c.to.block)) {
         decIn(c.from);  // b's endpoint was an external source for the set
-      else
+      } else {
         incOut(c.from);  // b's endpoint now feeds the outside
+        if (frozen_ && frozen_->test(c.to.block)) fixedIncOut(c.from);
+      }
     }
   }
   if (tracking_ == BorderTracking::kOn) trackAdd(b);
@@ -45,32 +59,72 @@ void PortCounter::remove(BlockId b) {
   --count_;
   if (mode_ == CountingMode::kEdges) {
     for (const Connection& c : net_->inputsOf(b)) {
-      if (members_.test(c.from.block))
+      if (members_.test(c.from.block)) {
         ++io_.outputs;
-      else
+      } else {
         --io_.inputs;
+        if (frozen_ && frozen_->test(c.from.block)) --fixed_.inputs;
+      }
     }
     for (const Connection& c : net_->outputsOf(b)) {
-      if (members_.test(c.to.block))
+      if (members_.test(c.to.block)) {
         ++io_.inputs;
-      else
+      } else {
         --io_.outputs;
+        if (frozen_ && frozen_->test(c.to.block)) --fixed_.outputs;
+      }
     }
   } else {
     for (const Connection& c : net_->inputsOf(b)) {
-      if (members_.test(c.from.block))
+      if (members_.test(c.from.block)) {
         incOut(c.from);
-      else
+      } else {
         decIn(c.from);
+        if (frozen_ && frozen_->test(c.from.block)) fixedDecIn(c.from);
+      }
     }
     for (const Connection& c : net_->outputsOf(b)) {
-      if (members_.test(c.to.block))
+      if (members_.test(c.to.block)) {
         incIn(c.from);
-      else
+      } else {
         decOut(c.from);
+        if (frozen_ && frozen_->test(c.to.block)) fixedDecOut(c.from);
+      }
     }
   }
   if (tracking_ == BorderTracking::kOn) trackRemove(b);
+}
+
+void PortCounter::freeze(BlockId x) {
+  // x just became permanently un-addable: each crossing edge between x
+  // and a member turns irreducible.  Edges between x and non-members are
+  // not crossing and contribute nothing (if their other end joins later,
+  // add() will see x's frozen bit).
+  if (mode_ == CountingMode::kEdges) {
+    for (const Connection& c : net_->outputsOf(x))  // x -> member: input
+      if (members_.test(c.to.block)) ++fixed_.inputs;
+    for (const Connection& c : net_->inputsOf(x))  // member -> x: output
+      if (members_.test(c.from.block)) ++fixed_.outputs;
+  } else {
+    for (const Connection& c : net_->outputsOf(x))
+      if (members_.test(c.to.block)) fixedIncIn(c.from);
+    for (const Connection& c : net_->inputsOf(x))
+      if (members_.test(c.from.block)) fixedIncOut(c.from);
+  }
+}
+
+void PortCounter::unfreeze(BlockId x) {
+  if (mode_ == CountingMode::kEdges) {
+    for (const Connection& c : net_->outputsOf(x))
+      if (members_.test(c.to.block)) --fixed_.inputs;
+    for (const Connection& c : net_->inputsOf(x))
+      if (members_.test(c.from.block)) --fixed_.outputs;
+  } else {
+    for (const Connection& c : net_->outputsOf(x))
+      if (members_.test(c.to.block)) fixedDecIn(c.from);
+    for (const Connection& c : net_->inputsOf(x))
+      if (members_.test(c.from.block)) fixedDecOut(c.from);
+  }
 }
 
 void PortCounter::trackAdd(BlockId b) {
@@ -125,6 +179,9 @@ void PortCounter::clear() {
   io_ = IoCount{};
   inSrc_.clear();
   outSrc_.clear();
+  fixed_ = IoCount{};
+  fixedInSrc_.clear();
+  fixedOutSrc_.clear();
 }
 
 void PortCounter::assign(const BitSet& members) {

@@ -20,6 +20,20 @@
 // Tracking is opt-in (BorderTracking::kOn) because the branch-and-bound
 // bins never ask for borders and should not pay for them.
 //
+// For the branch-and-bound's admissible lower bound the kernel can also
+// maintain the *irreducible* part of the crossing I/O: the subset whose
+// outside endpoint is "frozen" -- a block that can provably never join
+// this member set (non-inner blocks, and blocks the search has already
+// fixed in another bin or left uncovered).  Frozen crossing I/O can only
+// grow as the member set grows, so it is a sound monotone floor on the
+// final I/O of any superset -- including in kSignals mode, where pruning
+// on the full io() would be unsound (adding a member can internalize
+// shared fanout and *shrink* the count; it can never shrink the frozen
+// part, because a frozen endpoint stays outside forever).  Tracking is
+// enabled by handing the constructor a caller-owned frozen BitSet;
+// freeze()/unfreeze() notify the counter when an outside block's bit
+// flips, in O(degree) per flip.
+//
 // countIo(), borderBlocks(), and removalRank() in core/subgraph.h remain
 // the independent from-scratch references; the randomized kernel tests
 // cross-check every incremental state against them.
@@ -45,11 +59,21 @@ enum class BorderTracking { kOff, kOn };
 /// worker (and each bin) its own counter.
 class PortCounter {
  public:
+  /// `frozen` (optional, caller-owned, must outlive the counter) enables
+  /// irreducible-I/O tracking: fixedIo() counts the crossing I/O whose
+  /// outside endpoint block is in `*frozen`.  The caller owns the bit
+  /// flips and must keep the counter in sync: add(b)/remove(b) require
+  /// `b` itself to be un-frozen at call time, and every flip of an
+  /// *outside* block's bit must be bracketed by freeze()/unfreeze()
+  /// calls on this counter (flipping a bit while the block is a member
+  /// needs no call -- members have no crossing edges to themselves).
   PortCounter(const Network& net, CountingMode mode,
-              BorderTracking tracking = BorderTracking::kOff)
+              BorderTracking tracking = BorderTracking::kOff,
+              const BitSet* frozen = nullptr)
       : net_(&net),
         mode_(mode),
         tracking_(tracking),
+        frozen_(frozen),
         members_(net.blockCount()) {
     if (tracking_ == BorderTracking::kOn) {
       internalIn_.resize(net.blockCount(), 0);
@@ -60,6 +84,7 @@ class PortCounter {
 
   CountingMode mode() const { return mode_; }
   bool tracksBorder() const { return tracking_ == BorderTracking::kOn; }
+  bool tracksFixed() const { return frozen_ != nullptr; }
   const BitSet& members() const { return members_; }
   int memberCount() const { return count_; }
   bool contains(BlockId b) const { return members_.test(b); }
@@ -67,6 +92,23 @@ class PortCounter {
   /// Current port usage; always equal to
   /// countIo(net, members(), mode()).
   const IoCount& io() const { return io_; }
+
+  /// The irreducible part of io(): crossing I/O whose outside endpoint
+  /// block is frozen.  Component-wise <= io(), and component-wise <= the
+  /// final io() of *any* superset of members() reachable without
+  /// unfreezing -- the admissible floor the branch-and-bound prunes on.
+  /// Requires a frozen set at construction.
+  const IoCount& fixedIo() const { return fixed_; }
+
+  /// Notifies the counter that outside block `x` was frozen (its bit in
+  /// the shared frozen set was just set): crossing edges between `x` and
+  /// members become irreducible.  O(degree(x)).  `x` must not be a
+  /// member.
+  void freeze(BlockId x);
+
+  /// Exact inverse of freeze(); call before (or after) clearing `x`'s
+  /// bit in the shared frozen set.
+  void unfreeze(BlockId x);
 
   /// The current border members; always equal (as a set) to
   /// borderBlocks(net, members()).  Requires BorderTracking::kOn.
@@ -120,6 +162,32 @@ class PortCounter {
     }
   }
 
+  // Irreducible-I/O bookkeeping (kSignals): a source endpoint occupies an
+  // irreducible input while it has > 0 member consumers and its block is
+  // frozen; a member endpoint occupies an irreducible output while it has
+  // > 0 frozen outside consumers.  Same refcount discipline as
+  // inSrc_/outSrc_ above.
+  void fixedIncIn(const Endpoint& e) {
+    if (++fixedInSrc_[key(e)] == 1) ++fixed_.inputs;
+  }
+  void fixedDecIn(const Endpoint& e) {
+    auto it = fixedInSrc_.find(key(e));
+    if (--it->second == 0) {
+      fixedInSrc_.erase(it);
+      --fixed_.inputs;
+    }
+  }
+  void fixedIncOut(const Endpoint& e) {
+    if (++fixedOutSrc_[key(e)] == 1) ++fixed_.outputs;
+  }
+  void fixedDecOut(const Endpoint& e) {
+    auto it = fixedOutSrc_.find(key(e));
+    if (--it->second == 0) {
+      fixedOutSrc_.erase(it);
+      --fixed_.outputs;
+    }
+  }
+
   /// Recomputes the border bit of member `b` from its internal-degree
   /// counters (border iff every input or every output crosses the
   /// boundary -- vacuously true for disconnected sides).
@@ -135,10 +203,16 @@ class PortCounter {
   const Network* net_;
   CountingMode mode_;
   BorderTracking tracking_;
+  const BitSet* frozen_;
   BitSet members_;
   int count_ = 0;
   IoCount io_;
   std::unordered_map<std::uint64_t, int> inSrc_, outSrc_;
+  // Irreducible-I/O bookkeeping (frozen set provided only; empty
+  // otherwise).  The maps are used in kSignals mode; kEdges counts each
+  // crossing connection directly into fixed_.
+  IoCount fixed_;
+  std::unordered_map<std::uint64_t, int> fixedInSrc_, fixedOutSrc_;
   // Border/rank bookkeeping (BorderTracking::kOn only; empty otherwise).
   std::vector<int> internalIn_, internalOut_;
   BitSet border_;

@@ -46,11 +46,19 @@ struct PartitionRun {
   bool timedOut = false;
   /// Nodes explored (search-effort metric; 0 when not applicable).
   std::uint64_t explored = 0;
+  /// Subtrees cut by the admissible lower-bound layer
+  /// (ExhaustiveOptions::pruningBound): nodes where the irreducible-I/O
+  /// bound pruned and the baseline cost bound alone would not have.
+  /// Always 0 with the layer disabled.
+  std::uint64_t pruned = 0;
   /// Nodes explored per worker thread (parallel searches only; empty
   /// otherwise).  The spread is the hardware-independent witness of load
   /// balance: max/mean near 1 means every worker carried equal search
   /// effort, regardless of how the OS scheduled the threads.
   std::vector<std::uint64_t> workerExplored;
+  /// Per-worker counterpart of `pruned` (parallel searches only;
+  /// parallel to workerExplored).
+  std::vector<std::uint64_t> workerPruned;
 };
 
 }  // namespace eblocks::partition

@@ -1,6 +1,41 @@
 #include "partition/validity.h"
 
+#include <algorithm>
+#include <vector>
+
 namespace eblocks::partition {
+
+IoCount irreducibleBlockIo(const Network& net, BlockId b,
+                           CountingMode mode) {
+  IoCount io;
+  if (mode == CountingMode::kEdges) {
+    for (const Connection& c : net.inputsOf(b))
+      if (!net.isInner(c.from.block)) ++io.inputs;
+    for (const Connection& c : net.outputsOf(b))
+      if (!net.isInner(c.to.block)) ++io.outputs;
+    return io;
+  }
+  // kSignals: distinct non-inner source endpoints feeding b (each is a
+  // separate external signal no bin can merge or internalize), and b's
+  // own output endpoints with at least one non-inner consumer (each
+  // occupies one port of any bin containing b, forever).
+  std::vector<std::uint64_t> srcs;
+  for (const Connection& c : net.inputsOf(b))
+    if (!net.isInner(c.from.block))
+      srcs.push_back((static_cast<std::uint64_t>(c.from.block) << 16) |
+                     c.from.port);
+  std::sort(srcs.begin(), srcs.end());
+  io.inputs = static_cast<int>(
+      std::unique(srcs.begin(), srcs.end()) - srcs.begin());
+  std::vector<std::uint64_t> ports;
+  for (const Connection& c : net.outputsOf(b))
+    if (!net.isInner(c.to.block))
+      ports.push_back(c.from.port);
+  std::sort(ports.begin(), ports.end());
+  io.outputs = static_cast<int>(
+      std::unique(ports.begin(), ports.end()) - ports.begin());
+  return io;
+}
 
 bool fitsProgrammable(const Network& net, const BitSet& members,
                       const ProgBlockSpec& spec) {

@@ -21,6 +21,14 @@ inline bool fits(const IoCount& io, const ProgBlockSpec& spec) {
 bool fitsProgrammable(const Network& net, const BitSet& members,
                       const ProgBlockSpec& spec);
 
+/// The irreducible I/O block `b` contributes to *any* bin containing it:
+/// its connections (kEdges) or distinct signals (kSignals) to and from
+/// non-inner blocks, which no member set can ever internalize.  A block
+/// whose own irreducible I/O exceeds the port budget can be a member of
+/// no feasible bin -- the static floor of the branch-and-bound's
+/// admissible pruning bound (see exhaustive.h).
+IoCount irreducibleBlockIo(const Network& net, BlockId b, CountingMode mode);
+
 /// Full subgraph validity as required of a final partition: fits, has at
 /// least two members, all members inner, and (optionally) convex.
 ///

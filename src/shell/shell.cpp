@@ -26,9 +26,10 @@ constexpr char kHelp[] = R"(commands:
   tick [n]                       advance the timer
   outputs                        print output block values
   probe <block> <var>            read a block variable
-  synth [algo] [ins outs] [thr] [sched]
+  synth [algo] [ins outs] [thr] [sched] [prune]
                                  run synthesis (default paredown 2 2;
-                                 sched: work-stealing | fixed-split)
+                                 sched: work-stealing | fixed-split;
+                                 prune: prune | no-prune)
   algorithms                     list registered partitioning algorithms
   report                         print the last synthesis report
   use synth|source               choose the network 'sim' runs
@@ -279,7 +280,8 @@ void Shell::cmdSynth(std::istream& args, std::ostream& out) {
   int ins = 0, outs = 0;
   if (args >> ins) {
     if (!(args >> outs)) {
-      out << "usage: synth [algo] [ins outs] [threads] [scheduler]\n";
+      out << "usage: synth [algo] [ins outs] [threads] [scheduler] "
+             "[prune|no-prune]\n";
       return;
     }
     options.spec.inputs = ins;
@@ -289,19 +291,34 @@ void Shell::cmdSynth(std::istream& args, std::ostream& out) {
   }
   int threads = 0;
   if (args >> threads) {
+    if (threads < 0) {
+      out << "error: thread count must be >= 0 (0 = one per hardware "
+             "thread)\n";
+      return;
+    }
     options.engine.threads = threads;
   } else {
     args.clear();
   }
-  std::string sched;
-  if (args >> sched) {
-    const auto scheduler = partition::parseScheduler(sched);
-    if (!scheduler) {
-      out << "error: unknown scheduler '" << sched
-          << "' (work-stealing or fixed-split)\n";
+  // Trailing keywords, in any order, at most one of each: a scheduler
+  // name and a pruning flag.  Anything else is an error -- never a
+  // silent default.
+  bool haveScheduler = false, havePruning = false;
+  std::string word;
+  while (args >> word) {
+    const auto scheduler = partition::parseScheduler(word);
+    if (scheduler && !haveScheduler) {
+      options.engine.scheduler = *scheduler;
+      haveScheduler = true;
+    } else if ((word == "prune" || word == "no-prune") && !havePruning) {
+      options.engine.pruningBound = (word == "prune");
+      havePruning = true;
+    } else {
+      out << "error: unknown synth option '" << word
+          << "' (scheduler: work-stealing | fixed-split; pruning: prune | "
+             "no-prune)\n";
       return;
     }
-    options.engine.scheduler = *scheduler;
   }
   synthResult_ = synth::synthesize(source_, options);
   simulator_.reset();

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <random>
 #include <vector>
 
@@ -110,6 +112,133 @@ TEST_P(PortCounterModes, AddThenRemoveIsIdentity) {
   EXPECT_EQ(counter.io().inputs, before.inputs);
   EXPECT_EQ(counter.io().outputs, before.outputs);
   EXPECT_EQ(counter.members(), base);
+}
+
+// From-scratch reference for fixedIo(): the crossing I/O whose outside
+// endpoint block is frozen, counted per connection (kEdges) or per
+// distinct endpoint (kSignals).
+IoCount referenceFixedIo(const Network& net, const BitSet& members,
+                         const BitSet& frozen, CountingMode mode) {
+  IoCount io;
+  std::vector<std::uint64_t> inSrcs, outSrcs;
+  for (const Connection& c : net.connections()) {
+    const bool fromIn = members.test(c.from.block);
+    const bool toIn = members.test(c.to.block);
+    if (fromIn == toIn) continue;  // not crossing
+    const auto key = [](const Endpoint& e) {
+      return (static_cast<std::uint64_t>(e.block) << 16) | e.port;
+    };
+    if (toIn && frozen.test(c.from.block)) {
+      if (mode == CountingMode::kEdges)
+        ++io.inputs;
+      else
+        inSrcs.push_back(key(c.from));
+    }
+    if (fromIn && frozen.test(c.to.block)) {
+      if (mode == CountingMode::kEdges)
+        ++io.outputs;
+      else
+        outSrcs.push_back(key(c.from));
+    }
+  }
+  if (mode == CountingMode::kSignals) {
+    std::sort(inSrcs.begin(), inSrcs.end());
+    io.inputs = static_cast<int>(
+        std::unique(inSrcs.begin(), inSrcs.end()) - inSrcs.begin());
+    std::sort(outSrcs.begin(), outSrcs.end());
+    io.outputs = static_cast<int>(
+        std::unique(outSrcs.begin(), outSrcs.end()) - outSrcs.begin());
+  }
+  return io;
+}
+
+TEST_P(PortCounterModes, RandomizedFixedIoMatchesFromScratchReference) {
+  // Mimics the branch-and-bound's usage: non-inner blocks are frozen
+  // from the start, inner blocks flip between member / frozen-outside /
+  // free in random (non-LIFO) order, and after every operation fixedIo()
+  // must equal the from-scratch irreducible count -- and stay
+  // component-wise <= io().
+  const CountingMode mode = GetParam();
+  for (const std::uint32_t netSeed : {21u, 22u, 23u}) {
+    const Network net =
+        randgen::randomNetwork({.innerBlocks = 14, .seed = netSeed});
+    const std::vector<BlockId> inner = net.innerBlocks();
+    BitSet frozen(net.blockCount());
+    for (BlockId b = 0; b < net.blockCount(); ++b)
+      if (!net.isInner(b)) frozen.set(b);
+    PortCounter counter(net, mode, BorderTracking::kOff, &frozen);
+    BitSet reference = net.emptySet();
+    std::mt19937 rng(netSeed * 104729);
+    std::uniform_int_distribution<std::size_t> pick(0, inner.size() - 1);
+    for (int step = 0; step < 500; ++step) {
+      const BlockId b = inner[pick(rng)];
+      if (counter.contains(b)) {
+        counter.remove(b);
+        reference.reset(b);
+      } else if (frozen.test(b)) {
+        counter.unfreeze(b);
+        frozen.reset(b);
+      } else if (rng() % 2) {
+        counter.add(b);
+        reference.set(b);
+      } else {
+        frozen.set(b);
+        counter.freeze(b);
+      }
+      expectMatchesReference(net, counter, reference, mode, step);
+      const IoCount expected = referenceFixedIo(net, reference, frozen, mode);
+      EXPECT_EQ(counter.fixedIo().inputs, expected.inputs)
+          << toString(mode) << " fixed inputs diverged at step " << step;
+      EXPECT_EQ(counter.fixedIo().outputs, expected.outputs)
+          << toString(mode) << " fixed outputs diverged at step " << step;
+      EXPECT_LE(counter.fixedIo().inputs, counter.io().inputs);
+      EXPECT_LE(counter.fixedIo().outputs, counter.io().outputs);
+    }
+  }
+}
+
+TEST_P(PortCounterModes, FixedIoGrowsMonotonicallyUnderAddAndFreeze) {
+  // The soundness argument rests on monotonicity: growing the member set
+  // or the frozen set can never shrink fixedIo().  Drive a growth-only
+  // walk and assert it.
+  const CountingMode mode = GetParam();
+  const Network net = randgen::randomNetwork({.innerBlocks = 12, .seed = 5});
+  BitSet frozen(net.blockCount());
+  for (BlockId b = 0; b < net.blockCount(); ++b)
+    if (!net.isInner(b)) frozen.set(b);
+  PortCounter counter(net, mode, BorderTracking::kOff, &frozen);
+  std::mt19937 rng(31337);
+  IoCount last;
+  for (const BlockId b : net.innerBlocks()) {
+    if (rng() % 2) {
+      counter.add(b);
+    } else {
+      frozen.set(b);
+      counter.freeze(b);
+    }
+    EXPECT_GE(counter.fixedIo().inputs, last.inputs);
+    EXPECT_GE(counter.fixedIo().outputs, last.outputs);
+    last = counter.fixedIo();
+  }
+}
+
+TEST_P(PortCounterModes, ClearResetsFixedTracking) {
+  const CountingMode mode = GetParam();
+  const Network net = designs::figure5();
+  BitSet frozen(net.blockCount());
+  for (BlockId b = 0; b < net.blockCount(); ++b)
+    if (!net.isInner(b)) frozen.set(b);
+  PortCounter counter(net, mode, BorderTracking::kOff, &frozen);
+  counter.assign(net.innerSet());
+  EXPECT_TRUE(counter.tracksFixed());
+  counter.clear();
+  EXPECT_EQ(counter.fixedIo().inputs, 0);
+  EXPECT_EQ(counter.fixedIo().outputs, 0);
+  counter.add(net.innerBlocks().front());
+  const IoCount expected = referenceFixedIo(
+      net, counter.members(), frozen, mode);
+  EXPECT_EQ(counter.fixedIo().inputs, expected.inputs);
+  EXPECT_EQ(counter.fixedIo().outputs, expected.outputs);
 }
 
 INSTANTIATE_TEST_SUITE_P(BothModes, PortCounterModes,

@@ -156,6 +156,53 @@ TEST(Shell, SynthSchedulerArgument) {
             std::string::npos);
 }
 
+TEST(Shell, SynthPruningFlagArgument) {
+  Shell shell;
+  exec(shell, "design Podium Timer 3");
+  // Both settings reach the identical optimum; the flag parses with and
+  // without the numeric groups, in either order with the scheduler.
+  const std::string on = exec(shell, "synth exhaustive 2 2 2 prune");
+  EXPECT_NE(on.find("8 -> 3"), std::string::npos) << on;
+  const std::string off = exec(shell, "synth exhaustive 2 2 2 no-prune");
+  EXPECT_NE(off.find("8 -> 3"), std::string::npos) << off;
+  const std::string bare = exec(shell, "synth exhaustive no-prune");
+  EXPECT_NE(bare.find("8 -> 3"), std::string::npos) << bare;
+  const std::string both = exec(shell, "synth exhaustive 2 2 2 steal prune");
+  EXPECT_NE(both.find("8 -> 3"), std::string::npos) << both;
+  const std::string swapped =
+      exec(shell, "synth exhaustive 2 2 2 prune steal");
+  EXPECT_NE(swapped.find("8 -> 3"), std::string::npos) << swapped;
+}
+
+TEST(Shell, SynthArgumentErrorPaths) {
+  Shell shell;
+  exec(shell, "design Podium Timer 3");
+  // Unknown algorithm name.
+  EXPECT_NE(exec(shell, "synth warp-speed").find("error: unknown algorithm"),
+            std::string::npos);
+  // Negative thread count.
+  EXPECT_NE(exec(shell, "synth exhaustive 2 2 -3").find(
+                "error: thread count"),
+            std::string::npos);
+  // Unknown trailing keyword (neither a scheduler nor a pruning flag).
+  EXPECT_NE(exec(shell, "synth exhaustive 2 2 2 frobnicate")
+                .find("error: unknown synth option"),
+            std::string::npos);
+  // Duplicate keywords must error, not silently override.
+  EXPECT_NE(exec(shell, "synth exhaustive steal split")
+                .find("error: unknown synth option"),
+            std::string::npos);
+  EXPECT_NE(exec(shell, "synth exhaustive prune no-prune")
+                .find("error: unknown synth option"),
+            std::string::npos);
+  // A half-given ports group still errors with usage.
+  EXPECT_NE(exec(shell, "synth exhaustive 3 prune").find("usage"),
+            std::string::npos);
+  // None of the failed parses may have run a synthesis.
+  EXPECT_NE(exec(shell, "report").find("error: no synthesis has run"),
+            std::string::npos);
+}
+
 TEST(Shell, QuitStopsExecution) {
   Shell shell;
   std::ostringstream out;

@@ -78,6 +78,28 @@ TEST(Synthesizer, AggregationAlgorithmSelectable) {
   EXPECT_TRUE(r.network.validate().empty());
 }
 
+TEST(Synthesizer, PartitionRunCountersPlumbedThroughSynthResult) {
+  // The PartitionRun record -- explored, pruned, and the per-worker
+  // vectors -- must survive the trip through synthesize() so callers can
+  // report search effort without re-running the partitioner.
+  SynthOptions options;
+  options.algorithm = "exhaustive";
+  options.engine.threads = 1;
+  const SynthResult on = synthesize(designs::figure5(), options);
+  EXPECT_GT(on.run.explored, 0u);
+  options.engine.pruningBound = false;
+  const SynthResult off = synthesize(designs::figure5(), options);
+  EXPECT_EQ(off.run.pruned, 0u);
+  EXPECT_LE(on.run.explored, off.run.explored);
+  EXPECT_EQ(on.innerAfter, off.innerAfter);
+  // Parallel runs carry the per-worker counters, kept parallel.
+  options.engine.pruningBound = true;
+  options.engine.threads = 4;
+  const SynthResult parallel = synthesize(designs::figure5(), options);
+  EXPECT_EQ(parallel.run.workerPruned.size(),
+            parallel.run.workerExplored.size());
+}
+
 TEST(Synthesizer, UnknownAlgorithmThrowsWithRegistryNames) {
   SynthOptions options;
   options.algorithm = "simulated-annealing";
