@@ -271,7 +271,7 @@ int main(int argc, char** argv) {
         .nodesUnpruned = 0,
         .pruned = static_cast<std::uint64_t>(serialPruned),
         .seconds = serialTime,
-        .cost = costSum});
+        .cost = static_cast<double>(costSum)});
     json.add(bench::BenchRecord{
         .workload = "random/n=" + std::to_string(n) +
                     "/per=" + std::to_string(perSize) + "/threads=" +
@@ -281,7 +281,7 @@ int main(int argc, char** argv) {
         .nodesUnpruned = 0,
         .pruned = 0,
         .seconds = parallelTime,
-        .cost = costSum});
+        .cost = static_cast<double>(costSum)});
   }
 
   // The multi-type search shares the same engine; spot-check one size.

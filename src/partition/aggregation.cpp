@@ -10,7 +10,7 @@ namespace eblocks::partition {
 
 PartitionRun aggregation(const PartitionProblem& problem) {
   const auto start = std::chrono::steady_clock::now();
-  const Network& net = problem.network();
+  const CompactGraph& graph = problem.graph();
   const ProgBlockSpec& spec = problem.spec();
 
   PartitionRun run;
@@ -26,8 +26,10 @@ PartitionRun aggregation(const PartitionProblem& problem) {
   BitSet unassigned = problem.innerSet();
   // The cluster's port usage is maintained incrementally: every growth
   // probe adds one block, checks the counter, and backs the block out on a
-  // miss -- O(degree) per probe instead of a full fit recount.
-  PortCounter cluster(net, spec.mode);
+  // miss -- O(degree) per probe instead of a full fit recount.  Both the
+  // counter and the neighbor walk below use the problem's CSR view.
+  PortCounter cluster(graph, spec.mode);
+  std::vector<BlockId> candidates;  // reused across rounds
   for (BlockId seed : seeds) {
     if (!unassigned.test(seed)) continue;
     cluster.clear();
@@ -44,15 +46,15 @@ PartitionRun aggregation(const PartitionProblem& problem) {
     while (grew) {
       ++run.explored;
       grew = false;
-      std::vector<BlockId> candidates;
+      candidates.clear();
       cluster.members().forEach([&](std::size_t m) {
         const BlockId mb = static_cast<BlockId>(m);
-        for (const Connection& c : net.inputsOf(mb))
-          if (unassigned.test(c.from.block) && !cluster.contains(c.from.block))
-            candidates.push_back(c.from.block);
-        for (const Connection& c : net.outputsOf(mb))
-          if (unassigned.test(c.to.block) && !cluster.contains(c.to.block))
-            candidates.push_back(c.to.block);
+        for (const CompactArc& a : graph.inArcs(mb))
+          if (unassigned.test(a.neighbor) && !cluster.contains(a.neighbor))
+            candidates.push_back(a.neighbor);
+        for (const CompactArc& a : graph.outArcs(mb))
+          if (unassigned.test(a.neighbor) && !cluster.contains(a.neighbor))
+            candidates.push_back(a.neighbor);
       });
       std::sort(candidates.begin(), candidates.end());
       candidates.erase(std::unique(candidates.begin(), candidates.end()),

@@ -37,18 +37,21 @@ struct SearchContext {
       : problem(p),
         options(o),
         net(p.network()),
+        graph(p.graph()),
         edgesMode(p.spec().mode == CountingMode::kEdges),
         inner(p.innerBlocks()),
         deadline(deadlineFor(o.timeLimitSeconds)) {
-    // Pre-compute each block's irreducible I/O: connections to non-inner
-    // neighbors can never be internalized by growing the bin.
-    fixedIn.resize(net.blockCount(), 0);
-    fixedOut.resize(net.blockCount(), 0);
-    for (BlockId b : inner) {
-      for (const Connection& c : net.inputsOf(b))
-        if (!net.isInner(c.from.block)) ++fixedIn[b];
-      for (const Connection& c : net.outputsOf(b))
-        if (!net.isInner(c.to.block)) ++fixedOut[b];
+    // Pre-compute each inner block's irreducible connection counts
+    // (edges to non-inner neighbors can never be internalized), indexed
+    // by the block's dense inner rank -- the search always knows the
+    // rank (its depth), so no per-block-id table is needed.
+    fixedIn.resize(inner.size(), 0);
+    fixedOut.resize(inner.size(), 0);
+    for (std::size_t i = 0; i < inner.size(); ++i) {
+      for (const CompactArc& a : graph.inArcs(inner[i]))
+        if (!graph.isInner(a.neighbor)) ++fixedIn[i];
+      for (const CompactArc& a : graph.outArcs(inner[i]))
+        if (!graph.isInner(a.neighbor)) ++fixedOut[i];
     }
     if (o.pruningBound) {
       // The admissible-bound layer's static half: the frozen-set root
@@ -56,9 +59,7 @@ struct SearchContext {
       // suffix floor -- a block whose own mode-aware irreducible I/O
       // exceeds the budget is coverable by no feasible bin, so every
       // valid completion leaves it uncovered at cost +1.
-      baseFrozen = BitSet(net.blockCount());
-      for (BlockId b = 0; b < net.blockCount(); ++b)
-        if (!net.isInner(b)) baseFrozen.set(b);
+      baseFrozen = graph.nonInnerSet();
       suffixUnbinnable.assign(inner.size() + 1, 0);
       for (std::size_t i = inner.size(); i-- > 0;) {
         const IoCount own =
@@ -73,8 +74,10 @@ struct SearchContext {
   const PartitionProblem& problem;
   const ExhaustiveOptions& options;
   const Network& net;
+  const CompactGraph& graph;
   bool edgesMode;
   const std::vector<BlockId>& inner;
+  // Irreducible in/out connection counts per *inner rank* (not block id).
   std::vector<int> fixedIn, fixedOut;
   // pruningBound statics (empty / unused when the layer is off).
   std::vector<int> suffixUnbinnable;
@@ -145,7 +148,7 @@ class Worker {
   void runTask(const Task& task) {
     localBest_ = ctx_.initialBound;
     resetBins();
-    choice_ = task.choice;
+    choice_ = task.choice;  // copy into retained capacity
     int uncovered = 0;
     for (std::size_t i = 0; i < task.choice.size(); ++i) {
       const std::int16_t c = task.choice[i];
@@ -156,11 +159,23 @@ class Worker {
         continue;
       }
       if (static_cast<std::size_t>(c) == binCount_) openBin();
-      addToBin(static_cast<std::size_t>(c), b);
+      addToBin(static_cast<std::size_t>(c), i);
       if (pruning_) freezeAssigned(b, static_cast<std::size_t>(c));
     }
     dfs(task.choice.size(), uncovered, task.ordLo, task.ordHi);
   }
+
+  /// A recycled task frame for the next push: its choice vector keeps
+  /// the capacity it grew while circulating through the pool, so
+  /// steady-state splits copy into existing storage instead of
+  /// allocating.  Frames come back via recycleFrame() after execution.
+  Task takeFrame() {
+    if (frames_.empty()) return {};
+    Task t = std::move(frames_.back());
+    frames_.pop_back();
+    return t;
+  }
+  void recycleFrame(Task&& t) { frames_.push_back(std::move(t)); }
 
   std::uint64_t explored() const { return explored_; }
   std::uint64_t pruned() const { return pruned_; }
@@ -171,8 +186,8 @@ class Worker {
   static constexpr std::size_t kNoOwnBin = static_cast<std::size_t>(-1);
 
   struct Bin {
-    Bin(const Network& net, CountingMode mode, const BitSet* frozen)
-        : counter(net, mode, BorderTracking::kOff, frozen) {}
+    Bin(const CompactGraph& graph, CountingMode mode, const BitSet* frozen)
+        : counter(graph, mode, BorderTracking::kOff, frozen) {}
     PortCounter counter;
     int fixedIn = 0;   // irreducible inputs (edges from non-inner blocks)
     int fixedOut = 0;  // irreducible outputs (edges to non-inner blocks)
@@ -190,7 +205,7 @@ class Worker {
 
   void openBin() {
     if (binCount_ == bins_.size())
-      bins_.emplace_back(ctx_.net, ctx_.problem.spec().mode,
+      bins_.emplace_back(ctx_.graph, ctx_.problem.spec().mode,
                          pruning_ ? &frozen_ : nullptr);
     ++binCount_;
   }
@@ -221,29 +236,31 @@ class Worker {
     return false;
   }
 
-  void addToBin(std::size_t j, BlockId b) {
-    bins_[j].counter.add(b);
-    bins_[j].fixedIn += ctx_.fixedIn[b];
-    bins_[j].fixedOut += ctx_.fixedOut[b];
+  // Bin updates take the block's dense inner rank `i` (the search
+  // depth); the fixed-I/O tables are rank-indexed.
+  void addToBin(std::size_t j, std::size_t i) {
+    bins_[j].counter.add(ctx_.inner[i]);
+    bins_[j].fixedIn += ctx_.fixedIn[i];
+    bins_[j].fixedOut += ctx_.fixedOut[i];
   }
 
-  void removeFromBin(std::size_t j, BlockId b) {
-    bins_[j].fixedOut -= ctx_.fixedOut[b];
-    bins_[j].fixedIn -= ctx_.fixedIn[b];
-    bins_[j].counter.remove(b);
+  void removeFromBin(std::size_t j, std::size_t i) {
+    bins_[j].fixedOut -= ctx_.fixedOut[i];
+    bins_[j].fixedIn -= ctx_.fixedIn[i];
+    bins_[j].counter.remove(ctx_.inner[i]);
   }
 
-  bool fixedOverflow(std::size_t j, BlockId b) const {
+  bool fixedOverflow(std::size_t j, std::size_t i) const {
     return ctx_.edgesMode &&
-           (bins_[j].fixedIn + ctx_.fixedIn[b] > ctx_.problem.spec().inputs ||
-            bins_[j].fixedOut + ctx_.fixedOut[b] >
+           (bins_[j].fixedIn + ctx_.fixedIn[i] > ctx_.problem.spec().inputs ||
+            bins_[j].fixedOut + ctx_.fixedOut[i] >
                 ctx_.problem.spec().outputs);
   }
 
-  bool canOpenNewBin(BlockId b) const {
+  bool canOpenNewBin(std::size_t i) const {
     return !(ctx_.edgesMode &&
-             (ctx_.fixedIn[b] > ctx_.problem.spec().inputs ||
-              ctx_.fixedOut[b] > ctx_.problem.spec().outputs));
+             (ctx_.fixedIn[i] > ctx_.problem.spec().inputs ||
+              ctx_.fixedOut[i] > ctx_.problem.spec().outputs));
   }
 
   bool timeExpired() {
@@ -295,7 +312,7 @@ class Worker {
     // new bin (all empty bins are interchangeable, so a single branch
     // suffices -- the paper's symmetry pruning), leave uncovered.
     const std::size_t openBins = binCount_;
-    const bool newBin = canOpenNewBin(b);
+    const bool newBin = canOpenNewBin(idx);
     // Ordinal ranges are split only where a child could be offloaded
     // (parallel pool present, subtree above the leaf margin): everywhere
     // else -- the serial and fixed-split modes, and the leaf region that
@@ -306,7 +323,7 @@ class Worker {
     if (pool_ != nullptr && ctx_.inner.size() - idx > detail::kLeafMargin) {
       std::size_t k = 1;  // "leave uncovered" is always a child
       for (std::size_t j = 0; j < openBins; ++j)
-        if (!fixedOverflow(j, b)) ++k;
+        if (!fixedOverflow(j, idx)) ++k;
       if (newBin) ++k;
       ranges.emplace(lo, hi, k);
     }
@@ -317,7 +334,8 @@ class Worker {
     const bool offloadable = ranges && ranges->offloadable();
     bool firstChild = true;
     // Visits child `c` with its ordinal slice: either inline (apply the
-    // choice, recurse, undo) or as a pushed task.
+    // choice, recurse, undo) or as a pushed task built in a recycled
+    // frame (no allocation once frame capacities have warmed up).
     const auto visit = [&](std::int16_t c, int childUncovered,
                            auto&& apply, auto&& undo) {
       std::uint32_t clo = lo, chi = hi;
@@ -326,9 +344,12 @@ class Worker {
       firstChild = false;
       if (!inlineChild && offloadable && pool_->hungry() > 0 &&
           pool_->queueDepth(workerId_) < detail::kMaxLocalBacklog) {
-        choice_.push_back(c);
-        pool_->push(workerId_, Task{choice_, clo, chi});
-        choice_.pop_back();
+        Task t = takeFrame();
+        t.choice = choice_;
+        t.choice.push_back(c);
+        t.ordLo = clo;
+        t.ordHi = chi;
+        pool_->push(workerId_, std::move(t));
         return;
       }
       apply();
@@ -338,27 +359,27 @@ class Worker {
       undo();
     };
     for (std::size_t j = 0; j < openBins; ++j) {
-      if (fixedOverflow(j, b)) continue;  // irreducible I/O over budget
+      if (fixedOverflow(j, idx)) continue;  // irreducible I/O over budget
       visit(static_cast<std::int16_t>(j), uncovered,
             [&] {
-              addToBin(j, b);
+              addToBin(j, idx);
               if (pruning_) freezeAssigned(b, j);
             },
             [&] {
               if (pruning_) unfreezeAssigned(b, j);
-              removeFromBin(j, b);
+              removeFromBin(j, idx);
             });
     }
     if (newBin) {
       visit(static_cast<std::int16_t>(openBins), uncovered,
             [&] {
               openBin();
-              addToBin(binCount_ - 1, b);
+              addToBin(binCount_ - 1, idx);
               if (pruning_) freezeAssigned(b, binCount_ - 1);
             },
             [&] {
               if (pruning_) unfreezeAssigned(b, binCount_ - 1);
-              removeFromBin(binCount_ - 1, b);
+              removeFromBin(binCount_ - 1, idx);
               --binCount_;
             });
     }
@@ -445,6 +466,7 @@ class Worker {
   std::vector<Bin> bins_;  // pool; the first binCount_ entries are live
   std::size_t binCount_ = 0;
   std::vector<std::int16_t> choice_;  // live assignment of blocks [0, idx)
+  std::vector<Task> frames_;  // recycled task frames (see takeFrame)
   int localBest_ = 0;
   std::uint64_t bestKey_;
   Partitioning best_;
@@ -487,26 +509,26 @@ class PrefixGenerator {
       tasks_.push_back(Task{choice_, ord, ord + 1});
       return;
     }
-    const BlockId b = ctx_.inner[idx];
     const std::size_t openBins = binFixedIn_.size();
     for (std::size_t j = 0; j < openBins; ++j) {
       if (ctx_.edgesMode &&
-          (binFixedIn_[j] + ctx_.fixedIn[b] > ctx_.problem.spec().inputs ||
-           binFixedOut_[j] + ctx_.fixedOut[b] > ctx_.problem.spec().outputs))
+          (binFixedIn_[j] + ctx_.fixedIn[idx] > ctx_.problem.spec().inputs ||
+           binFixedOut_[j] + ctx_.fixedOut[idx] >
+               ctx_.problem.spec().outputs))
         continue;
-      binFixedIn_[j] += ctx_.fixedIn[b];
-      binFixedOut_[j] += ctx_.fixedOut[b];
+      binFixedIn_[j] += ctx_.fixedIn[idx];
+      binFixedOut_[j] += ctx_.fixedOut[idx];
       choice_.push_back(static_cast<std::int16_t>(j));
       gen(idx + 1, uncovered);
       choice_.pop_back();
-      binFixedOut_[j] -= ctx_.fixedOut[b];
-      binFixedIn_[j] -= ctx_.fixedIn[b];
+      binFixedOut_[j] -= ctx_.fixedOut[idx];
+      binFixedIn_[j] -= ctx_.fixedIn[idx];
     }
     if (!(ctx_.edgesMode &&
-          (ctx_.fixedIn[b] > ctx_.problem.spec().inputs ||
-           ctx_.fixedOut[b] > ctx_.problem.spec().outputs))) {
-      binFixedIn_.push_back(ctx_.fixedIn[b]);
-      binFixedOut_.push_back(ctx_.fixedOut[b]);
+          (ctx_.fixedIn[idx] > ctx_.problem.spec().inputs ||
+           ctx_.fixedOut[idx] > ctx_.problem.spec().outputs))) {
+      binFixedIn_.push_back(ctx_.fixedIn[idx]);
+      binFixedOut_.push_back(ctx_.fixedOut[idx]);
       choice_.push_back(static_cast<std::int16_t>(openBins));
       gen(idx + 1, uncovered);
       choice_.pop_back();
@@ -626,6 +648,8 @@ PartitionRun exhaustiveSearch(const PartitionProblem& problem,
       while (taskPool.acquire(w, task, shared.timedOut)) {
         worker->runTask(task);
         taskPool.release();
+        // The executed frame's buffer feeds this worker's future splits.
+        worker->recycleFrame(std::move(task));
       }
       totalExplored.fetch_add(worker->explored(),
                               std::memory_order_relaxed);

@@ -103,8 +103,11 @@ TypedPartitionRun multiTypePareDown(const Network& net,
   BitSet blocks = net.innerSet();
   // Port usage, border set, and removal ranks of the paring candidate are
   // maintained incrementally (one O(degree) update per removal) on the
-  // shared validity kernel -- no member-set rescans per round.
-  PortCounter candidate(net, model.mode, BorderTracking::kOn);
+  // shared validity kernel, walking a CSR view built once per run.
+  const CompactGraph graph(net);
+  PortCounter candidate(graph, model.mode, BorderTracking::kOn);
+  std::vector<BlockId> border;  // reused across rounds
+  std::vector<int> ranks;
   while (blocks.any()) {
     candidate.assign(blocks);
     bool accepted = false;
@@ -128,8 +131,8 @@ TypedPartitionRun multiTypePareDown(const Network& net,
         accepted = true;
         break;
       }
-      std::vector<BlockId> border;
-      std::vector<int> ranks;
+      border.clear();
+      ranks.clear();
       candidate.border().forEach([&](std::size_t b) {
         border.push_back(static_cast<BlockId>(b));
         ranks.push_back(candidate.rank(static_cast<BlockId>(b)));
@@ -202,6 +205,7 @@ struct MultiContext {
       : net(n),
         model(m),
         options(o),
+        graph(n),
         inner(n.innerBlocks()),
         deadline(o.timeLimitSeconds > 0
                      ? Clock::now() +
@@ -217,9 +221,7 @@ struct MultiContext {
       // Static half of the admissible bound: the frozen-set root and the
       // unbinnable suffix -- a block whose own irreducible I/O fits no
       // option stays a pre-defined block in every valid completion.
-      baseFrozen = BitSet(n.blockCount());
-      for (BlockId b = 0; b < n.blockCount(); ++b)
-        if (!n.isInner(b)) baseFrozen.set(b);
+      baseFrozen = graph.nonInnerSet();
       suffixUnbinnable.assign(inner.size() + 1, 0);
       for (std::size_t i = inner.size(); i-- > 0;) {
         const IoCount own = irreducibleBlockIo(n, inner[i], m.mode);
@@ -232,6 +234,9 @@ struct MultiContext {
   const Network& net;
   const ProgCostModel& model;
   const MultiTypeExhaustiveOptions& options;
+  // The CSR view every bin counter of this search walks (owned: the
+  // multi-type entry points take a raw Network, not a PartitionProblem).
+  CompactGraph graph;
   std::vector<BlockId> inner;
   double minOptionCost = 0;
   // pruningBound statics (empty / unused when the layer is off).
@@ -276,6 +281,15 @@ class MultiWorker {
     dfs(task.choice.size(), uncovered, task.ordLo, task.ordHi);
   }
 
+  /// Frame recycling; see Worker::takeFrame in exhaustive.cpp.
+  MultiTask takeFrame() {
+    if (frames_.empty()) return {};
+    MultiTask t = std::move(frames_.back());
+    frames_.pop_back();
+    return t;
+  }
+  void recycleFrame(MultiTask&& t) { frames_.push_back(std::move(t)); }
+
   std::uint64_t explored() const { return explored_; }
   std::uint64_t pruned() const { return pruned_; }
   double bestCost() const { return bestCost_; }
@@ -293,7 +307,7 @@ class MultiWorker {
 
   void openBin() {
     if (binCount_ == bins_.size())
-      bins_.emplace_back(ctx_.net, ctx_.model.mode, BorderTracking::kOff,
+      bins_.emplace_back(ctx_.graph, ctx_.model.mode, BorderTracking::kOff,
                          pruning_ ? &frozen_ : nullptr);
     ++binCount_;
   }
@@ -389,9 +403,12 @@ class MultiWorker {
       firstChild = false;
       if (!inlineChild && offloadable && pool_->hungry() > 0 &&
           pool_->queueDepth(workerId_) < detail::kMaxLocalBacklog) {
-        choice_.push_back(c);
-        pool_->push(workerId_, MultiTask{choice_, clo, chi});
-        choice_.pop_back();
+        MultiTask t = takeFrame();
+        t.choice = choice_;
+        t.choice.push_back(c);
+        t.ordLo = clo;
+        t.ordHi = chi;
+        pool_->push(workerId_, std::move(t));
         return;
       }
       apply();
@@ -433,12 +450,13 @@ class MultiWorker {
 
   void finish(int uncovered, std::uint32_t lo) {
     double cost = ctx_.model.preDefinedBlockCost * uncovered;
-    std::vector<int> chosen;
-    chosen.reserve(binCount_);
+    // chosen_ is a pooled scratch: finish() runs at every surviving
+    // leaf, so a fresh vector here would be a per-leaf allocation.
+    chosen_.clear();
     for (std::size_t j = 0; j < binCount_; ++j) {
       const auto option = cheapestFittingOption(bins_[j].io(), ctx_.model);
       if (!option) return;  // some bin fits no block type
-      chosen.push_back(*option);
+      chosen_.push_back(*option);
       cost += ctx_.model.options[static_cast<std::size_t>(*option)].cost;
     }
     // Within a task only strict (beyond-slack) improvements pass, so the
@@ -452,7 +470,7 @@ class MultiWorker {
       best_.partitions.clear();
       for (std::size_t j = 0; j < binCount_; ++j)
         best_.partitions.push_back(bins_[j].members());
-      best_.optionIndex = std::move(chosen);
+      best_.optionIndex = chosen_;
     }
     lowerLive(shared_.liveCost, cost);
   }
@@ -466,6 +484,8 @@ class MultiWorker {
   std::vector<PortCounter> bins_;  // pool; first binCount_ entries live
   std::size_t binCount_ = 0;
   std::vector<std::int16_t> choice_;  // live assignment of blocks [0, idx)
+  std::vector<MultiTask> frames_;  // recycled task frames (see takeFrame)
+  std::vector<int> chosen_;        // finish() scratch (option per bin)
   double localBest_ = 0;
   double bestCost_;
   std::uint32_t bestOrd_ = 0;
@@ -609,6 +629,8 @@ TypedPartitionRun multiTypeExhaustive(
       while (taskPool.acquire(w, task, shared.timedOut)) {
         worker->runTask(task);
         taskPool.release();
+        // The executed frame's buffer feeds this worker's future splits.
+        worker->recycleFrame(std::move(task));
       }
       totalExplored.fetch_add(worker->explored(),
                               std::memory_order_relaxed);

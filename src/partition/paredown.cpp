@@ -57,14 +57,18 @@ PartitionRun pareDown(const PartitionProblem& problem,
   // maintained incrementally: each paring round removes one block, so the
   // counter update is O(degree) instead of a full countIo() /
   // borderBlocks() / removalRank() rescan of the member set per decision.
-  PortCounter candidate(net, spec.mode, BorderTracking::kOn);
+  // The counter walks the problem's shared CSR view (compact_graph.h).
+  PortCounter candidate(problem.graph(), spec.mode, BorderTracking::kOn);
+  PareDownStep step;  // reused across rounds; the buffers keep capacity
   while (blocks.any()) {
     candidate.assign(blocks);
     bool accepted = false;
     BlockId lastRemoved = kNoBlock;
     while (candidate.memberCount() > 0) {
       ++run.explored;
-      PareDownStep step;
+      step.border.clear();
+      step.ranks.clear();
+      step.removed = kNoBlock;  // step.candidate/io/fits are set below
       step.io = candidate.io();
       step.fits = fits(step.io, spec);
       if (options.trace) step.candidate = candidate.members();

@@ -3,7 +3,9 @@
 namespace eblocks::partition {
 
 void PortCounter::add(BlockId b) {
-  // Classify b's edges against the membership *before* b joins.  An edge
+  assert(!members_.test(b) && "add: already a member");
+  assert((!frozen_ || !frozen_->test(b)) && "add: block is frozen");
+  // Classify b's arcs against the membership *before* b joins.  An edge
   // between b and a member stops crossing the boundary; an edge between b
   // and a non-member starts crossing it.
   //
@@ -13,37 +15,37 @@ void PortCounter::add(BlockId b) {
   // un-frozen at add() time (see the header contract), so they were
   // never counted as irreducible.
   if (mode_ == CountingMode::kEdges) {
-    for (const Connection& c : net_->inputsOf(b)) {
-      if (members_.test(c.from.block)) {
+    for (const CompactArc& a : graph_->inArcs(b)) {
+      if (members_.test(a.neighbor)) {
         --io_.outputs;  // member -> b: was an output edge, now internal
       } else {
         ++io_.inputs;  // outside -> b: new input edge
-        if (frozen_ && frozen_->test(c.from.block)) ++fixed_.inputs;
+        if (frozen_ && frozen_->test(a.neighbor)) ++fixed_.inputs;
       }
     }
-    for (const Connection& c : net_->outputsOf(b)) {
-      if (members_.test(c.to.block)) {
+    for (const CompactArc& a : graph_->outArcs(b)) {
+      if (members_.test(a.neighbor)) {
         --io_.inputs;  // b -> member: was an input edge, now internal
       } else {
         ++io_.outputs;  // b -> outside: new output edge
-        if (frozen_ && frozen_->test(c.to.block)) ++fixed_.outputs;
+        if (frozen_ && frozen_->test(a.neighbor)) ++fixed_.outputs;
       }
     }
   } else {
-    for (const Connection& c : net_->inputsOf(b)) {
-      if (members_.test(c.from.block)) {
-        decOut(c.from);  // member endpoint fed b from outside the set
+    for (const CompactArc& a : graph_->inArcs(b)) {
+      if (members_.test(a.neighbor)) {
+        decOut(a.endpoint);  // member endpoint fed b from outside the set
       } else {
-        incIn(c.from);  // external endpoint now feeds the set
-        if (frozen_ && frozen_->test(c.from.block)) fixedIncIn(c.from);
+        incIn(a.endpoint);  // external endpoint now feeds the set
+        if (frozen_ && frozen_->test(a.neighbor)) fixedIncIn(a.endpoint);
       }
     }
-    for (const Connection& c : net_->outputsOf(b)) {
-      if (members_.test(c.to.block)) {
-        decIn(c.from);  // b's endpoint was an external source for the set
+    for (const CompactArc& a : graph_->outArcs(b)) {
+      if (members_.test(a.neighbor)) {
+        decIn(a.endpoint);  // b's endpoint was an external source
       } else {
-        incOut(c.from);  // b's endpoint now feeds the outside
-        if (frozen_ && frozen_->test(c.to.block)) fixedIncOut(c.from);
+        incOut(a.endpoint);  // b's endpoint now feeds the outside
+        if (frozen_ && frozen_->test(a.neighbor)) fixedIncOut(a.endpoint);
       }
     }
   }
@@ -53,42 +55,43 @@ void PortCounter::add(BlockId b) {
 }
 
 void PortCounter::remove(BlockId b) {
+  assert(members_.test(b) && "remove: not a member");
   // Exact inverse of add(): classify against the membership *after* b
   // leaves (networks are DAGs, so b never connects to itself).
   members_.reset(b);
   --count_;
   if (mode_ == CountingMode::kEdges) {
-    for (const Connection& c : net_->inputsOf(b)) {
-      if (members_.test(c.from.block)) {
+    for (const CompactArc& a : graph_->inArcs(b)) {
+      if (members_.test(a.neighbor)) {
         ++io_.outputs;
       } else {
         --io_.inputs;
-        if (frozen_ && frozen_->test(c.from.block)) --fixed_.inputs;
+        if (frozen_ && frozen_->test(a.neighbor)) --fixed_.inputs;
       }
     }
-    for (const Connection& c : net_->outputsOf(b)) {
-      if (members_.test(c.to.block)) {
+    for (const CompactArc& a : graph_->outArcs(b)) {
+      if (members_.test(a.neighbor)) {
         ++io_.inputs;
       } else {
         --io_.outputs;
-        if (frozen_ && frozen_->test(c.to.block)) --fixed_.outputs;
+        if (frozen_ && frozen_->test(a.neighbor)) --fixed_.outputs;
       }
     }
   } else {
-    for (const Connection& c : net_->inputsOf(b)) {
-      if (members_.test(c.from.block)) {
-        incOut(c.from);
+    for (const CompactArc& a : graph_->inArcs(b)) {
+      if (members_.test(a.neighbor)) {
+        incOut(a.endpoint);
       } else {
-        decIn(c.from);
-        if (frozen_ && frozen_->test(c.from.block)) fixedDecIn(c.from);
+        decIn(a.endpoint);
+        if (frozen_ && frozen_->test(a.neighbor)) fixedDecIn(a.endpoint);
       }
     }
-    for (const Connection& c : net_->outputsOf(b)) {
-      if (members_.test(c.to.block)) {
-        incIn(c.from);
+    for (const CompactArc& a : graph_->outArcs(b)) {
+      if (members_.test(a.neighbor)) {
+        incIn(a.endpoint);
       } else {
-        decOut(c.from);
-        if (frozen_ && frozen_->test(c.to.block)) fixedDecOut(c.from);
+        decOut(a.endpoint);
+        if (frozen_ && frozen_->test(a.neighbor)) fixedDecOut(a.endpoint);
       }
     }
   }
@@ -96,34 +99,36 @@ void PortCounter::remove(BlockId b) {
 }
 
 void PortCounter::freeze(BlockId x) {
+  assert(!members_.test(x) && "freeze: block is a member");
   // x just became permanently un-addable: each crossing edge between x
   // and a member turns irreducible.  Edges between x and non-members are
   // not crossing and contribute nothing (if their other end joins later,
   // add() will see x's frozen bit).
   if (mode_ == CountingMode::kEdges) {
-    for (const Connection& c : net_->outputsOf(x))  // x -> member: input
-      if (members_.test(c.to.block)) ++fixed_.inputs;
-    for (const Connection& c : net_->inputsOf(x))  // member -> x: output
-      if (members_.test(c.from.block)) ++fixed_.outputs;
+    for (const CompactArc& a : graph_->outArcs(x))  // x -> member: input
+      if (members_.test(a.neighbor)) ++fixed_.inputs;
+    for (const CompactArc& a : graph_->inArcs(x))  // member -> x: output
+      if (members_.test(a.neighbor)) ++fixed_.outputs;
   } else {
-    for (const Connection& c : net_->outputsOf(x))
-      if (members_.test(c.to.block)) fixedIncIn(c.from);
-    for (const Connection& c : net_->inputsOf(x))
-      if (members_.test(c.from.block)) fixedIncOut(c.from);
+    for (const CompactArc& a : graph_->outArcs(x))
+      if (members_.test(a.neighbor)) fixedIncIn(a.endpoint);
+    for (const CompactArc& a : graph_->inArcs(x))
+      if (members_.test(a.neighbor)) fixedIncOut(a.endpoint);
   }
 }
 
 void PortCounter::unfreeze(BlockId x) {
+  assert(!members_.test(x) && "unfreeze: block is a member");
   if (mode_ == CountingMode::kEdges) {
-    for (const Connection& c : net_->outputsOf(x))
-      if (members_.test(c.to.block)) --fixed_.inputs;
-    for (const Connection& c : net_->inputsOf(x))
-      if (members_.test(c.from.block)) --fixed_.outputs;
+    for (const CompactArc& a : graph_->outArcs(x))
+      if (members_.test(a.neighbor)) --fixed_.inputs;
+    for (const CompactArc& a : graph_->inArcs(x))
+      if (members_.test(a.neighbor)) --fixed_.outputs;
   } else {
-    for (const Connection& c : net_->outputsOf(x))
-      if (members_.test(c.to.block)) fixedDecIn(c.from);
-    for (const Connection& c : net_->inputsOf(x))
-      if (members_.test(c.from.block)) fixedDecOut(c.from);
+    for (const CompactArc& a : graph_->outArcs(x))
+      if (members_.test(a.neighbor)) fixedDecIn(a.endpoint);
+    for (const CompactArc& a : graph_->inArcs(x))
+      if (members_.test(a.neighbor)) fixedDecOut(a.endpoint);
   }
 }
 
@@ -132,14 +137,14 @@ void PortCounter::trackAdd(BlockId b) {
   // are counted from scratch (O(degree)); each member neighbor gains one
   // internal edge on the side facing b.
   int in = 0, out = 0;
-  for (const Connection& c : net_->inputsOf(b)) {
-    const BlockId u = c.from.block;
+  for (const CompactArc& a : graph_->inArcs(b)) {
+    const BlockId u = a.neighbor;
     if (!members_.test(u)) continue;
     ++in;
     if (++internalOut_[u] == 1) refreshBorderBit(u);
   }
-  for (const Connection& c : net_->outputsOf(b)) {
-    const BlockId v = c.to.block;
+  for (const CompactArc& a : graph_->outArcs(b)) {
+    const BlockId v = a.neighbor;
     if (!members_.test(v)) continue;
     ++out;
     if (++internalIn_[v] == 1) refreshBorderBit(v);
@@ -153,12 +158,12 @@ void PortCounter::trackRemove(BlockId b) {
   // Called with members_ already *excluding* b.  Each member neighbor
   // loses one internal edge on the side facing b; a counter reaching zero
   // can only make that neighbor border.
-  for (const Connection& c : net_->inputsOf(b)) {
-    const BlockId u = c.from.block;
+  for (const CompactArc& a : graph_->inArcs(b)) {
+    const BlockId u = a.neighbor;
     if (members_.test(u) && --internalOut_[u] == 0) border_.set(u);
   }
-  for (const Connection& c : net_->outputsOf(b)) {
-    const BlockId v = c.to.block;
+  for (const CompactArc& a : graph_->outArcs(b)) {
+    const BlockId v = a.neighbor;
     if (members_.test(v) && --internalIn_[v] == 0) border_.set(v);
   }
   internalIn_[b] = 0;
@@ -177,9 +182,12 @@ void PortCounter::clear() {
   members_.clear();
   count_ = 0;
   io_ = IoCount{};
+  fixed_ = IoCount{};
+  // O(touched): each table zeroes only the endpoints its live-list
+  // names.  No-ops in kEdges mode (the tables were never initialized
+  // and hold no live entries).
   inSrc_.clear();
   outSrc_.clear();
-  fixed_ = IoCount{};
   fixedInSrc_.clear();
   fixedOutSrc_.clear();
 }

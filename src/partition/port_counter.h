@@ -10,6 +10,17 @@
 // PortCounter carries the same IoCount forward incrementally, so a probe
 // costs only the touched block's degree.
 //
+// Data layout: the counter walks a CompactGraph -- the immutable CSR
+// view of the network (see compact_graph.h) -- and all kSignals
+// reference counts live in dense arrays indexed by the graph's dense
+// endpoint ids.  A move therefore does zero hashing and zero heap
+// allocation: each touched arc is one flat-array load (the arc), one
+// bitset test (the neighbor side), and at most one array
+// increment/decrement (the endpoint refcount).  Tables reset in
+// O(touched endpoints), not O(universe), via a live-list per table.
+// kEdges mode never touches the tables at all; it counts crossing
+// connections directly.
+//
 // Beyond port usage, the kernel can optionally maintain the *border set*
 // and *removal ranks* PareDown consults every round (Section 4.2).  Both
 // derive from two per-member integers that update in O(degree) per move:
@@ -36,17 +47,22 @@
 //
 // countIo(), borderBlocks(), and removalRank() in core/subgraph.h remain
 // the independent from-scratch references; the randomized kernel tests
-// cross-check every incremental state against them.
+// cross-check every incremental state against them.  In debug builds the
+// refcount tables additionally assert range and non-underflow on every
+// decrement, so a desynced counter fails loudly instead of silently
+// corrupting the search.
 #ifndef EBLOCKS_PARTITION_PORT_COUNTER_H_
 #define EBLOCKS_PARTITION_PORT_COUNTER_H_
 
+#include <cassert>
 #include <cstdint>
-#include <unordered_map>
+#include <memory>
 #include <vector>
 
 #include "core/bitset.h"
 #include "core/network.h"
 #include "core/subgraph.h"
+#include "partition/compact_graph.h"
 
 namespace eblocks::partition {
 
@@ -54,9 +70,64 @@ namespace eblocks::partition {
 /// removal ranks of its members (see the header comment).
 enum class BorderTracking { kOff, kOn };
 
-/// Incrementally maintained I/O usage of a member set.  The network must
-/// outlive the counter.  Not thread-safe; parallel search gives each
-/// worker (and each bin) its own counter.
+namespace detail {
+
+/// Dense per-endpoint reference counts with O(touched) reset: counts_
+/// spans the whole endpoint universe, live_ lists exactly the endpoints
+/// with a non-zero count (their position kept in pos_ for O(1)
+/// swap-removal).  All operations are hash-free and allocation-free
+/// after init().
+class EndpointRefCount {
+ public:
+  void init(std::size_t universe) {
+    counts_.assign(universe, 0);
+    pos_.assign(universe, 0);
+    live_.clear();
+    live_.reserve(universe);
+  }
+
+  /// Increments `e`; true when the count became non-zero (0 -> 1).
+  bool inc(std::uint32_t e) {
+    assert(e < counts_.size() && "endpoint id out of range");
+    if (counts_[e]++ != 0) return false;
+    pos_[e] = static_cast<std::uint32_t>(live_.size());
+    live_.push_back(e);
+    return true;
+  }
+
+  /// Decrements `e`; true when the count reached zero (1 -> 0).
+  /// Debug builds assert against underflow -- a desynced caller.
+  bool dec(std::uint32_t e) {
+    assert(e < counts_.size() && "endpoint id out of range");
+    assert(counts_[e] > 0 && "endpoint refcount underflow");
+    if (--counts_[e] != 0) return false;
+    const std::uint32_t last = live_.back();
+    live_[pos_[e]] = last;
+    pos_[last] = pos_[e];
+    live_.pop_back();
+    return true;
+  }
+
+  /// Zeroes every non-zero count in O(touched).
+  void clear() {
+    for (const std::uint32_t e : live_) counts_[e] = 0;
+    live_.clear();
+  }
+
+  int liveCount() const { return static_cast<int>(live_.size()); }
+
+ private:
+  std::vector<std::int32_t> counts_;
+  std::vector<std::uint32_t> pos_;
+  std::vector<std::uint32_t> live_;
+};
+
+}  // namespace detail
+
+/// Incrementally maintained I/O usage of a member set.  The CompactGraph
+/// (and the network behind it) must outlive the counter.  Not
+/// thread-safe; parallel search gives each worker (and each bin) its own
+/// counter over the one shared CompactGraph.
 class PortCounter {
  public:
   /// `frozen` (optional, caller-owned, must outlive the counter) enables
@@ -67,21 +138,29 @@ class PortCounter {
   /// *outside* block's bit must be bracketed by freeze()/unfreeze()
   /// calls on this counter (flipping a bit while the block is a member
   /// needs no call -- members have no crossing edges to themselves).
+  PortCounter(const CompactGraph& graph, CountingMode mode,
+              BorderTracking tracking = BorderTracking::kOff,
+              const BitSet* frozen = nullptr)
+      : graph_(&graph), mode_(mode), tracking_(tracking), frozen_(frozen) {
+    init();
+  }
+
+  /// Convenience for one-off counters (tests, single-run algorithms):
+  /// builds and owns a CompactGraph of `net`.  Code that creates many
+  /// counters over one network (the branch-and-bound's bins) should
+  /// build the graph once and use the CompactGraph constructor.
   PortCounter(const Network& net, CountingMode mode,
               BorderTracking tracking = BorderTracking::kOff,
               const BitSet* frozen = nullptr)
-      : net_(&net),
+      : owned_(std::make_shared<CompactGraph>(net)),
+        graph_(owned_.get()),
         mode_(mode),
         tracking_(tracking),
-        frozen_(frozen),
-        members_(net.blockCount()) {
-    if (tracking_ == BorderTracking::kOn) {
-      internalIn_.resize(net.blockCount(), 0);
-      internalOut_.resize(net.blockCount(), 0);
-      border_ = BitSet(net.blockCount());
-    }
+        frozen_(frozen) {
+    init();
   }
 
+  const CompactGraph& graph() const { return *graph_; }
   CountingMode mode() const { return mode_; }
   bool tracksBorder() const { return tracking_ == BorderTracking::kOn; }
   bool tracksFixed() const { return frozen_ != nullptr; }
@@ -118,9 +197,8 @@ class PortCounter {
   /// removalRank(net, members(), b).  O(1).  Requires BorderTracking::kOn
   /// and `b` to be a member.
   int rank(BlockId b) const {
-    return 2 * (internalIn_[b] + internalOut_[b]) -
-           static_cast<int>(net_->indegree(b)) -
-           static_cast<int>(net_->outdegree(b));
+    return 2 * (internalIn_[b] + internalOut_[b]) - graph_->indegree(b) -
+           graph_->outdegree(b);
   }
 
   /// Adds `b` to the set in O(degree(b)).  `b` must not be a member.
@@ -129,7 +207,7 @@ class PortCounter {
   /// Removes `b` from the set in O(degree(b)).  `b` must be a member.
   void remove(BlockId b);
 
-  /// Empties the set.
+  /// Empties the set in O(members + touched endpoints).
   void clear();
 
   /// Replaces the set: clear() followed by add() of every member.
@@ -137,29 +215,19 @@ class PortCounter {
 
  private:
   // kSignals bookkeeping: reference counts of boundary-crossing edges per
-  // source endpoint.  An endpoint counts toward io_ while its count > 0.
-  static std::uint64_t key(const Endpoint& e) {
-    return (static_cast<std::uint64_t>(e.block) << 16) | e.port;
+  // source endpoint, in dense arrays indexed by the graph's endpoint
+  // ids.  An endpoint counts toward io_ while its count > 0.
+  void incIn(std::uint32_t e) {
+    if (inSrc_.inc(e)) ++io_.inputs;
   }
-  void incIn(const Endpoint& e) {
-    if (++inSrc_[key(e)] == 1) ++io_.inputs;
+  void decIn(std::uint32_t e) {
+    if (inSrc_.dec(e)) --io_.inputs;
   }
-  void decIn(const Endpoint& e) {
-    auto it = inSrc_.find(key(e));
-    if (--it->second == 0) {
-      inSrc_.erase(it);
-      --io_.inputs;
-    }
+  void incOut(std::uint32_t e) {
+    if (outSrc_.inc(e)) ++io_.outputs;
   }
-  void incOut(const Endpoint& e) {
-    if (++outSrc_[key(e)] == 1) ++io_.outputs;
-  }
-  void decOut(const Endpoint& e) {
-    auto it = outSrc_.find(key(e));
-    if (--it->second == 0) {
-      outSrc_.erase(it);
-      --io_.outputs;
-    }
+  void decOut(std::uint32_t e) {
+    if (outSrc_.dec(e)) --io_.outputs;
   }
 
   // Irreducible-I/O bookkeeping (kSignals): a source endpoint occupies an
@@ -167,25 +235,17 @@ class PortCounter {
   // frozen; a member endpoint occupies an irreducible output while it has
   // > 0 frozen outside consumers.  Same refcount discipline as
   // inSrc_/outSrc_ above.
-  void fixedIncIn(const Endpoint& e) {
-    if (++fixedInSrc_[key(e)] == 1) ++fixed_.inputs;
+  void fixedIncIn(std::uint32_t e) {
+    if (fixedInSrc_.inc(e)) ++fixed_.inputs;
   }
-  void fixedDecIn(const Endpoint& e) {
-    auto it = fixedInSrc_.find(key(e));
-    if (--it->second == 0) {
-      fixedInSrc_.erase(it);
-      --fixed_.inputs;
-    }
+  void fixedDecIn(std::uint32_t e) {
+    if (fixedInSrc_.dec(e)) --fixed_.inputs;
   }
-  void fixedIncOut(const Endpoint& e) {
-    if (++fixedOutSrc_[key(e)] == 1) ++fixed_.outputs;
+  void fixedIncOut(std::uint32_t e) {
+    if (fixedOutSrc_.inc(e)) ++fixed_.outputs;
   }
-  void fixedDecOut(const Endpoint& e) {
-    auto it = fixedOutSrc_.find(key(e));
-    if (--it->second == 0) {
-      fixedOutSrc_.erase(it);
-      --fixed_.outputs;
-    }
+  void fixedDecOut(std::uint32_t e) {
+    if (fixedOutSrc_.dec(e)) --fixed_.outputs;
   }
 
   /// Recomputes the border bit of member `b` from its internal-degree
@@ -200,19 +260,39 @@ class PortCounter {
   void trackAdd(BlockId b);
   void trackRemove(BlockId b);
 
-  const Network* net_;
+  void init() {
+    members_ = BitSet(graph_->blockCount());
+    if (mode_ == CountingMode::kSignals) {
+      inSrc_.init(graph_->endpointCount());
+      outSrc_.init(graph_->endpointCount());
+      if (frozen_) {
+        fixedInSrc_.init(graph_->endpointCount());
+        fixedOutSrc_.init(graph_->endpointCount());
+      }
+    }
+    if (tracking_ == BorderTracking::kOn) {
+      internalIn_.resize(graph_->blockCount(), 0);
+      internalOut_.resize(graph_->blockCount(), 0);
+      border_ = BitSet(graph_->blockCount());
+    }
+  }
+
+  // Backs the Network convenience constructor only (declared before
+  // graph_ so graph_ can point at it during member initialization).
+  std::shared_ptr<const CompactGraph> owned_;
+  const CompactGraph* graph_;
   CountingMode mode_;
   BorderTracking tracking_;
   const BitSet* frozen_;
   BitSet members_;
   int count_ = 0;
   IoCount io_;
-  std::unordered_map<std::uint64_t, int> inSrc_, outSrc_;
+  detail::EndpointRefCount inSrc_, outSrc_;
   // Irreducible-I/O bookkeeping (frozen set provided only; empty
-  // otherwise).  The maps are used in kSignals mode; kEdges counts each
-  // crossing connection directly into fixed_.
+  // otherwise).  The tables are used in kSignals mode; kEdges counts
+  // each crossing connection directly into fixed_.
   IoCount fixed_;
-  std::unordered_map<std::uint64_t, int> fixedInSrc_, fixedOutSrc_;
+  detail::EndpointRefCount fixedInSrc_, fixedOutSrc_;
   // Border/rank bookkeeping (BorderTracking::kOn only; empty otherwise).
   std::vector<int> internalIn_, internalOut_;
   BitSet border_;

@@ -5,6 +5,7 @@ namespace eblocks::partition {
 PartitionProblem::PartitionProblem(const Network& net, ProgBlockSpec spec)
     : net_(&net),
       spec_(spec),
+      graph_(net),
       inner_(net.innerBlocks()),
       innerSet_(net.innerSet()),
       levels_(computeLevels(net)) {}

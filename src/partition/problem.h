@@ -16,6 +16,7 @@
 #include "core/levels.h"
 #include "core/network.h"
 #include "core/subgraph.h"
+#include "partition/compact_graph.h"
 
 namespace eblocks::partition {
 
@@ -37,6 +38,11 @@ class PartitionProblem {
   const Network& network() const { return *net_; }
   const ProgBlockSpec& spec() const { return spec_; }
 
+  /// The flat CSR view every kernel walk uses (see compact_graph.h);
+  /// built once here so PareDown, aggregation, and every branch-and-
+  /// bound bin share one copy.
+  const CompactGraph& graph() const { return graph_; }
+
   /// Inner blocks: the replaceable pre-defined compute blocks.
   const std::vector<BlockId>& innerBlocks() const { return inner_; }
   const BitSet& innerSet() const { return innerSet_; }
@@ -49,6 +55,7 @@ class PartitionProblem {
  private:
   const Network* net_;
   ProgBlockSpec spec_;
+  CompactGraph graph_;
   std::vector<BlockId> inner_;
   BitSet innerSet_;
   std::vector<int> levels_;

@@ -188,10 +188,15 @@ class WorkStealingPool {
 
   /// Steals the front half of the first non-empty victim deque into w's
   /// own deque.  Stolen tasks are re-pushed in reverse so the thief pops
-  /// them oldest-first (closest to serial DFS order).
+  /// them oldest-first (closest to serial DFS order).  The loot buffer
+  /// is thread-local so repeated steals reuse its capacity instead of
+  /// allocating (two locks are never held at once, so the transfer must
+  /// stage through a buffer).
   bool stealInto(int w) {
     const std::size_t n = slots_.size();
-    std::vector<Task> loot;
+    static thread_local std::vector<Task> lootBuffer;
+    std::vector<Task>& loot = lootBuffer;
+    loot.clear();
     for (std::size_t step = 1; step < n && loot.empty(); ++step) {
       Slot& victim =
           slots_[(static_cast<std::size_t>(w) + step) % n];

@@ -67,8 +67,9 @@ void checkAllConfigurations(const PartitionProblem& problem, int innerCount,
                           toString(scheduler));
       EXPECT_TRUE(verifyPartitioning(problem, pruned.result).empty())
           << label;
-      if (threads == 1)
+      if (threads == 1) {
         EXPECT_LE(pruned.explored, unpruned.explored) << label;
+      }
     }
   }
 }
@@ -208,8 +209,9 @@ TEST(PruningBound, MultiTypeBitIdenticalAcrossThreadsAndSchedulers) {
         EXPECT_TRUE(
             verifyTypedPartitioning(net, model, pruned.result).empty())
             << label;
-        if (threads == 1)
+        if (threads == 1) {
           EXPECT_LE(pruned.explored, unpruned.explored) << label;
+        }
       }
     }
   }
