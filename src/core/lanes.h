@@ -1,0 +1,156 @@
+// Lane-packed values for the bit-parallel batch simulator (sim/batch_*).
+//
+// A LaneVector holds one value per simulation lane -- kLanes = 64
+// independent stimulus streams advancing in lockstep -- in one of two
+// forms:
+//   - packed: every lane's value is 0 or 1, stored one bit per lane in a
+//     single machine word.  This is the common case for eBlock port
+//     traffic (gates, sensors, LEDs), and whole-word operations process
+//     all 64 lanes at once, in the style of core/bitset's word loops;
+//   - wide: one int64 per lane, for counters/timers and any value outside
+//     {0, 1}.
+// Values widen on demand and never re-pack; correctness never depends on
+// the representation, only speed does.  Wide storage is always fully
+// initialized across all kLanes so whole-array loops are well defined
+// even when only a subset of lanes is live.
+#ifndef EBLOCKS_CORE_LANES_H_
+#define EBLOCKS_CORE_LANES_H_
+
+#include <cstdint>
+#include <cstring>
+
+namespace eblocks {
+
+/// Number of stimulus lanes packed per machine word.
+inline constexpr int kLanes = 64;
+
+/// One bit per lane; bit i refers to lane i.
+using LaneMask = std::uint64_t;
+
+inline constexpr LaneMask kAllLanes = ~LaneMask{0};
+
+/// Mask selecting lanes [0, n).
+inline constexpr LaneMask firstLanes(int n) {
+  return n >= kLanes ? kAllLanes : (LaneMask{1} << n) - 1;
+}
+
+/// One value per lane, packed (1 bit/lane) or wide (int64/lane).
+class LaneVector {
+ public:
+  /// All lanes 0, packed.  (User-provided so `const LaneVector` default
+  /// constructs; wide_ is intentionally untouched while packed.)
+  LaneVector() {}
+
+  LaneVector(const LaneVector& o) { assign(o); }
+  LaneVector& operator=(const LaneVector& o) {
+    if (this != &o) assign(o);
+    return *this;
+  }
+
+  /// All lanes set to `v` (packed when v is 0 or 1).
+  static LaneVector splat(std::int64_t v) {
+    LaneVector r;
+    if (v == 0 || v == 1) {
+      r.bits_ = v ? kAllLanes : 0;
+    } else {
+      r.packed_ = false;
+      for (int i = 0; i < kLanes; ++i) r.wide_[i] = v;
+    }
+    return r;
+  }
+
+  /// Packed vector from a bit word (lane i = bit i).
+  static LaneVector fromBits(LaneMask bits) {
+    LaneVector r;
+    r.bits_ = bits;
+    return r;
+  }
+
+  bool packed() const { return packed_; }
+  /// Valid only when packed().
+  LaneMask bits() const { return bits_; }
+  /// Valid only when !packed(); always fully initialized over kLanes.
+  const std::int64_t* wide() const { return wide_; }
+
+  std::int64_t lane(int i) const {
+    return packed_ ? static_cast<std::int64_t>((bits_ >> i) & 1u) : wide_[i];
+  }
+
+  void setLane(int i, std::int64_t v) {
+    if (packed_) {
+      if (v == 0 || v == 1) {
+        bits_ = (bits_ & ~(LaneMask{1} << i)) |
+                (static_cast<LaneMask>(v) << i);
+        return;
+      }
+      widen();
+    }
+    wide_[i] = v;
+  }
+
+  /// Overwrites all lanes from a full-width array (aliasing allowed).
+  void setWide(const std::int64_t* src) {
+    packed_ = false;
+    std::memmove(wide_, src, sizeof(wide_));
+  }
+
+  /// Mutable wide storage; valid only when !packed().
+  std::int64_t* wideData() { return wide_; }
+
+  /// Materializes the wide form in place (no-op when already wide).
+  void widen() {
+    if (!packed_) return;
+    for (int i = 0; i < kLanes; ++i)
+      wide_[i] = static_cast<std::int64_t>((bits_ >> i) & 1u);
+    packed_ = false;
+  }
+
+  /// Lanes whose value is nonzero.
+  LaneMask truthy() const {
+    if (packed_) return bits_;
+    LaneMask m = 0;
+    for (int i = 0; i < kLanes; ++i)
+      m |= static_cast<LaneMask>(wide_[i] != 0) << i;
+    return m;
+  }
+
+  /// Overwrites the lanes in `mask` with `src`'s values; other lanes keep
+  /// their current value.  Stays packed when both sides are packed.
+  void mergeFrom(const LaneVector& src, LaneMask mask) {
+    if (mask == kAllLanes) {
+      assign(src);
+      return;
+    }
+    if (packed_ && src.packed_) {
+      bits_ = (bits_ & ~mask) | (src.bits_ & mask);
+      return;
+    }
+    widen();
+    for (int i = 0; i < kLanes; ++i)
+      if ((mask >> i) & 1u) wide_[i] = src.lane(i);
+  }
+
+  /// Lanes where `a` and `b` differ.
+  friend LaneMask laneDiff(const LaneVector& a, const LaneVector& b) {
+    if (a.packed_ && b.packed_) return a.bits_ ^ b.bits_;
+    LaneMask m = 0;
+    for (int i = 0; i < kLanes; ++i)
+      m |= static_cast<LaneMask>(a.lane(i) != b.lane(i)) << i;
+    return m;
+  }
+
+ private:
+  void assign(const LaneVector& o) {
+    packed_ = o.packed_;
+    bits_ = o.bits_;
+    if (!o.packed_) std::memcpy(wide_, o.wide_, sizeof(wide_));
+  }
+
+  bool packed_ = true;
+  LaneMask bits_ = 0;
+  std::int64_t wide_[kLanes];  // valid (and fully initialized) iff !packed_
+};
+
+}  // namespace eblocks
+
+#endif  // EBLOCKS_CORE_LANES_H_

@@ -145,4 +145,16 @@ Network randomNetwork(const GeneratorOptions& options) {
   return net;
 }
 
+std::vector<Network> randomNetworkCorpus(int count,
+                                         const GeneratorOptions& base) {
+  std::vector<Network> corpus;
+  corpus.reserve(static_cast<std::size_t>(count > 0 ? count : 0));
+  for (int i = 0; i < count; ++i) {
+    GeneratorOptions options = base;
+    options.seed = base.seed + static_cast<std::uint32_t>(i);
+    corpus.push_back(randomNetwork(options));
+  }
+  return corpus;
+}
+
 }  // namespace eblocks::randgen

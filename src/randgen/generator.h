@@ -10,6 +10,7 @@
 #define EBLOCKS_RANDGEN_GENERATOR_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "core/network.h"
 
@@ -48,6 +49,13 @@ struct GeneratorOptions {
 /// Generates a well-formed (validate()-clean) random network with exactly
 /// `options.innerBlocks` inner blocks.
 Network randomNetwork(const GeneratorOptions& options);
+
+/// Emits a corpus of `count` independent random designs: design i is
+/// randomNetwork with seed `base.seed + i` (other options unchanged).
+/// The verification layer (sim/batch_equivalence.h) consumes these as the
+/// reference side of its differential runs.
+std::vector<Network> randomNetworkCorpus(int count,
+                                         const GeneratorOptions& base);
 
 }  // namespace eblocks::randgen
 

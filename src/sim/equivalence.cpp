@@ -28,6 +28,8 @@ std::optional<Mismatch> checkEquivalence(const Network& reference,
                                          const Network& candidate,
                                          const Stimulus& script,
                                          SimOptions opts) {
+  // Equivalence runs never read the trace; don't pay for recording it.
+  opts.recordTrace = false;
   const auto refSensors = sortedNames(reference, &Network::isSensor);
   const auto candSensors = sortedNames(candidate, &Network::isSensor);
   if (refSensors != candSensors)
@@ -62,14 +64,54 @@ std::optional<Mismatch> checkEquivalence(const Network& reference,
   return std::nullopt;
 }
 
+std::uint32_t fuzzRoundSeed(std::uint32_t seed, int round) {
+  return seed + static_cast<std::uint32_t>(round) * 9973u;
+}
+
 std::optional<Mismatch> fuzzEquivalence(const Network& reference,
                                         const Network& candidate, int rounds,
                                         int eventsPerRound, std::uint32_t seed,
                                         SimOptions opts) {
   for (int r = 0; r < rounds; ++r) {
     const Stimulus script =
-        randomStimulus(reference, eventsPerRound, seed + static_cast<std::uint32_t>(r) * 9973u);
+        randomStimulus(reference, eventsPerRound, fuzzRoundSeed(seed, r));
     if (auto m = checkEquivalence(reference, candidate, script, opts)) return m;
+  }
+  return std::nullopt;
+}
+
+std::string FuzzFailure::describe() const {
+  return mismatch.describe() + " (fuzz round " + std::to_string(round) +
+         ", stimulus seed " + std::to_string(roundSeed) + ")";
+}
+
+std::string FuzzFailure::artifact() const {
+  std::string out;
+  out += "# eblocks fuzz failure\n";
+  out += "# round: " + std::to_string(round) + "\n";
+  out += "# stimulus seed: " + std::to_string(roundSeed) + "\n";
+  out += "# " + mismatch.describe() + "\n";
+  out += script;
+  return out;
+}
+
+std::optional<FuzzFailure> fuzzEquivalenceDetailed(const Network& reference,
+                                                   const Network& candidate,
+                                                   int rounds,
+                                                   int eventsPerRound,
+                                                   std::uint32_t seed,
+                                                   SimOptions opts) {
+  for (int r = 0; r < rounds; ++r) {
+    const std::uint32_t rs = fuzzRoundSeed(seed, r);
+    const Stimulus script = randomStimulus(reference, eventsPerRound, rs);
+    if (auto m = checkEquivalence(reference, candidate, script, opts)) {
+      FuzzFailure f;
+      f.mismatch = *m;
+      f.round = r;
+      f.roundSeed = rs;
+      f.script = script.toText();
+      return f;
+    }
   }
   return std::nullopt;
 }

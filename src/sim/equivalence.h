@@ -39,6 +39,34 @@ std::optional<Mismatch> fuzzEquivalence(const Network& reference,
                                         std::uint32_t seed,
                                         SimOptions opts = {});
 
+/// Derives the stimulus seed of fuzz round `round` from the loop seed.
+/// Shared by the scalar and batch fuzz loops so both generate identical
+/// scripts round-for-round.
+std::uint32_t fuzzRoundSeed(std::uint32_t seed, int round);
+
+/// A fuzz mismatch plus everything needed to reproduce it without the
+/// original fuzz loop: the failing round, its derived stimulus seed, and
+/// the serialized script (Stimulus::fromText round-trips it).
+struct FuzzFailure {
+  Mismatch mismatch;
+  int round = 0;
+  std::uint32_t roundSeed = 0;
+  std::string script;
+
+  std::string describe() const;
+  /// Self-contained repro file: a commented header plus the script text.
+  /// Feeding the whole artifact back to Stimulus::fromText replays it.
+  std::string artifact() const;
+};
+
+/// Like fuzzEquivalence, but returns the reproduction bundle on failure.
+std::optional<FuzzFailure> fuzzEquivalenceDetailed(const Network& reference,
+                                                   const Network& candidate,
+                                                   int rounds,
+                                                   int eventsPerRound,
+                                                   std::uint32_t seed,
+                                                   SimOptions opts = {});
+
 }  // namespace eblocks::sim
 
 #endif  // EBLOCKS_SIM_EQUIVALENCE_H_

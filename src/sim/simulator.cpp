@@ -106,9 +106,10 @@ void Simulator::activate(BlockId b, bool isTick) {
   behavior::Environment& env = envs_[b];
   env.set("tick", isTick ? 1 : 0);
   const BlockType& t = *net_->block(b).type;
-  const bool isOutputBlock = t.blockClass() == BlockClass::kOutput;
+  const bool traceBlock =
+      opts_.recordTrace && t.blockClass() == BlockClass::kOutput;
   const std::int64_t displayBefore =
-      isOutputBlock && env.has("display") ? env.get("display") : 0;
+      traceBlock && env.has("display") ? env.get("display") : 0;
   try {
     behavior::execute(programs_[b], env);
   } catch (const behavior::EvalError& e) {
@@ -122,12 +123,13 @@ void Simulator::activate(BlockId b, bool isTick) {
       scheduleFanout(b, p, v);
     }
   }
-  if (isOutputBlock && opts_.recordTrace) {
+  if (traceBlock) {
     const std::int64_t displayAfter =
         env.has("display") ? env.get("display") : 0;
     if (displayAfter != displayBefore)
       trace_.push_back(TraceEntry{now_, b, displayAfter});
   }
+  if (hook_) hook_(b, isTick);
 }
 
 void Simulator::scheduleFanout(BlockId b, int port, std::int64_t value) {

@@ -22,6 +22,7 @@
 #define EBLOCKS_SIM_SIMULATOR_H_
 
 #include <cstdint>
+#include <functional>
 #include <queue>
 #include <string>
 #include <vector>
@@ -87,6 +88,14 @@ class Simulator {
   /// Reads any variable of any block (0 if never bound).
   std::int64_t probe(BlockId block, const std::string& var) const;
 
+  /// Called after every block activation (program already executed,
+  /// packets scheduled) with the block id and whether the activation was a
+  /// timer tick.  Probing the simulator from the hook is allowed.  Used to
+  /// capture a block's activation sequence, e.g. to drive the generated-C
+  /// test harness in lockstep (see tests/integration).
+  using ActivationHook = std::function<void(BlockId, bool isTick)>;
+  void setActivationHook(ActivationHook hook) { hook_ = std::move(hook); }
+
   std::uint64_t now() const { return now_; }
   const std::vector<TraceEntry>& trace() const { return trace_; }
   std::uint64_t packetsDelivered() const { return packetsDelivered_; }
@@ -121,6 +130,7 @@ class Simulator {
   std::uint64_t packetsDelivered_ = 0;
   std::uint64_t activations_ = 0;
   std::vector<TraceEntry> trace_;
+  ActivationHook hook_;
 };
 
 }  // namespace eblocks::sim

@@ -1,5 +1,10 @@
 #include "sim/stimulus.h"
 
+#include <sstream>
+#include <stdexcept>
+
+#include "sim/equivalence.h"
+
 namespace eblocks::sim {
 
 Stimulus& Stimulus::set(std::string sensor, std::int64_t value) {
@@ -41,6 +46,40 @@ std::vector<std::int64_t> Stimulus::run(Simulator& simulator) const {
   return observed;
 }
 
+std::string Stimulus::toText() const {
+  std::string out;
+  for (const StimulusStep& s : steps_) {
+    if (s.kind == StimulusStep::Kind::kSetSensor)
+      out += "set " + s.sensor + " " + std::to_string(s.value) + "\n";
+    else
+      out += "tick\n";
+  }
+  return out;
+}
+
+Stimulus Stimulus::fromText(std::string_view text) {
+  Stimulus st;
+  std::istringstream in{std::string(text)};
+  std::string line;
+  while (std::getline(in, line)) {
+    std::istringstream words(line);
+    std::string word;
+    if (!(words >> word) || word[0] == '#') continue;  // blank or comment
+    if (word == "tick") {
+      st.tick();
+    } else if (word == "set") {
+      std::string sensor;
+      std::int64_t value = 0;
+      if (!(words >> sensor >> value))
+        throw std::invalid_argument("Stimulus::fromText: bad line: " + line);
+      st.set(std::move(sensor), value);
+    } else {
+      throw std::invalid_argument("Stimulus::fromText: bad line: " + line);
+    }
+  }
+  return st;
+}
+
 Stimulus randomStimulus(const Network& net, int events, std::uint32_t seed) {
   std::vector<std::string> sensors;
   for (BlockId b = 0; b < net.blockCount(); ++b)
@@ -61,6 +100,15 @@ Stimulus randomStimulus(const Network& net, int events, std::uint32_t seed) {
     }
   }
   return st;
+}
+
+std::vector<Stimulus> randomStimulusCorpus(const Network& net, int scripts,
+                                           int events, std::uint32_t seed) {
+  std::vector<Stimulus> corpus;
+  corpus.reserve(static_cast<std::size_t>(scripts > 0 ? scripts : 0));
+  for (int i = 0; i < scripts; ++i)
+    corpus.push_back(randomStimulus(net, events, fuzzRoundSeed(seed, i)));
+  return corpus;
 }
 
 }  // namespace eblocks::sim

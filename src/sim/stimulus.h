@@ -35,6 +35,15 @@ class Stimulus {
   /// every step boundary, flattened in (step, output-block-id) order.
   std::vector<std::int64_t> run(Simulator& simulator) const;
 
+  /// Serializes the script, one step per line: `set <sensor> <value>` or
+  /// `tick`.  fromText round-trips it.
+  std::string toText() const;
+
+  /// Parses a serialized script.  Blank lines and `#` comment lines are
+  /// ignored (so fuzz-failure artifacts parse as-is).  Throws
+  /// std::invalid_argument on malformed lines.
+  static Stimulus fromText(std::string_view text);
+
  private:
   std::vector<StimulusStep> steps_;
 };
@@ -42,6 +51,12 @@ class Stimulus {
 /// Builds a randomized stimulus for a network: `events` random sensor
 /// flips/ticks, reproducible from `seed`.  Useful for equivalence fuzzing.
 Stimulus randomStimulus(const Network& net, int events, std::uint32_t seed);
+
+/// A corpus of `scripts` independent random stimuli, seeded with the fuzz
+/// loop's per-round derivation (sim/equivalence.h fuzzRoundSeed) so script
+/// i equals fuzz round i of a loop started with `seed`.
+std::vector<Stimulus> randomStimulusCorpus(const Network& net, int scripts,
+                                           int events, std::uint32_t seed);
 
 }  // namespace eblocks::sim
 

@@ -1,0 +1,95 @@
+#include "core/lanes.h"
+
+#include <gtest/gtest.h>
+
+namespace eblocks {
+namespace {
+
+TEST(Lanes, FirstLanesMask) {
+  EXPECT_EQ(firstLanes(0), 0u);
+  EXPECT_EQ(firstLanes(1), 1u);
+  EXPECT_EQ(firstLanes(3), 0b111u);
+  EXPECT_EQ(firstLanes(kLanes), kAllLanes);
+}
+
+TEST(Lanes, DefaultIsPackedZero) {
+  const LaneVector v;
+  EXPECT_TRUE(v.packed());
+  EXPECT_EQ(v.bits(), 0u);
+  for (int i = 0; i < kLanes; ++i) EXPECT_EQ(v.lane(i), 0);
+}
+
+TEST(Lanes, SplatStaysPackedForBits) {
+  EXPECT_TRUE(LaneVector::splat(0).packed());
+  EXPECT_TRUE(LaneVector::splat(1).packed());
+  EXPECT_EQ(LaneVector::splat(1).bits(), kAllLanes);
+  const LaneVector wide = LaneVector::splat(42);
+  EXPECT_FALSE(wide.packed());
+  EXPECT_EQ(wide.lane(0), 42);
+  EXPECT_EQ(wide.lane(kLanes - 1), 42);
+}
+
+TEST(Lanes, SetLaneWidensOnlyWhenNeeded) {
+  LaneVector v;
+  v.setLane(3, 1);
+  EXPECT_TRUE(v.packed());
+  EXPECT_EQ(v.bits(), 0b1000u);
+  v.setLane(5, 7);
+  EXPECT_FALSE(v.packed());
+  EXPECT_EQ(v.lane(3), 1);
+  EXPECT_EQ(v.lane(5), 7);
+  EXPECT_EQ(v.lane(4), 0);
+}
+
+TEST(Lanes, TruthyCoversBothForms) {
+  LaneVector v = LaneVector::fromBits(0b101u);
+  EXPECT_EQ(v.truthy(), 0b101u);
+  v.setLane(4, -9);
+  EXPECT_EQ(v.truthy(), 0b10101u);
+}
+
+TEST(Lanes, MergeFromPackedStaysPacked) {
+  LaneVector dst = LaneVector::fromBits(0b1100u);
+  dst.mergeFrom(LaneVector::fromBits(0b0011u), 0b0101u);
+  EXPECT_TRUE(dst.packed());
+  EXPECT_EQ(dst.bits(), 0b1001u);
+}
+
+TEST(Lanes, MergeFromMixedWidens) {
+  LaneVector dst = LaneVector::fromBits(0b11u);
+  dst.mergeFrom(LaneVector::splat(5), LaneMask{1} << 1);
+  EXPECT_FALSE(dst.packed());
+  EXPECT_EQ(dst.lane(0), 1);
+  EXPECT_EQ(dst.lane(1), 5);
+  EXPECT_EQ(dst.lane(2), 0);
+}
+
+TEST(Lanes, LaneDiffPackedAndWide) {
+  const LaneVector a = LaneVector::fromBits(0b0110u);
+  const LaneVector b = LaneVector::fromBits(0b1100u);
+  EXPECT_EQ(laneDiff(a, b), 0b1010u);
+  LaneVector w = a;
+  w.setLane(10, 3);
+  EXPECT_EQ(laneDiff(w, a), LaneMask{1} << 10);
+  EXPECT_EQ(laneDiff(w, w), 0u);
+}
+
+TEST(Lanes, WidenPreservesValues) {
+  LaneVector v = LaneVector::fromBits(0b101u);
+  v.widen();
+  EXPECT_FALSE(v.packed());
+  EXPECT_EQ(v.lane(0), 1);
+  EXPECT_EQ(v.lane(1), 0);
+  EXPECT_EQ(v.lane(2), 1);
+  EXPECT_EQ(v.lane(63), 0);
+}
+
+TEST(Lanes, SetWideAllowsAliasing) {
+  LaneVector v = LaneVector::splat(9);
+  v.setWide(v.wide());
+  EXPECT_EQ(v.lane(0), 9);
+  EXPECT_EQ(v.lane(kLanes - 1), 9);
+}
+
+}  // namespace
+}  // namespace eblocks

@@ -1,0 +1,300 @@
+// Differential fuzz verification loop (the PR-6 tentpole): random design
+// -> synthesize -> three-way agreement, seeded and reproducible:
+//
+//   1. original network vs synthesized network, through the bit-parallel
+//      batch equivalence checker (sim/batch_equivalence.h);
+//   2. synthesized network vs the compiled output of codegen/c_emitter:
+//      every programmable block's activations in the scalar simulator are
+//      captured (Simulator::setActivationHook) and replayed against the
+//      host-compiled C harness in lockstep ('setq' staging + eval/tick).
+//
+// On a mismatch, the failing round's seed and serialized stimulus script
+// are dumped to an artifact file whose path (and content) ctest prints on
+// failure; Stimulus::fromText(artifact) replays it (docs/verification.md).
+//
+// DifferentialFuzz.LongFuzz is the nightly extended sweep: it is skipped
+// unless EBLOCKS_LONG_FUZZ is set (the `fuzz.long`-labeled nightly ctest
+// entry sets it; see tests/CMakeLists.txt).
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "codegen/c_emitter.h"
+#include "randgen/generator.h"
+#include "sim/batch_equivalence.h"
+#include "sim/simulator.h"
+#include "synth/synthesizer.h"
+
+namespace eblocks::sim {
+namespace {
+
+bool hostCompilerAvailable() {
+  return std::system("cc --version > /dev/null 2>&1") == 0;
+}
+
+std::string artifactPath() {
+  return ::testing::TempDir() + "/eb_fuzz_failure_" +
+         ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+         "_" + std::to_string(static_cast<long>(::getpid())) + ".txt";
+}
+
+/// Writes the repro bundle next to the test and reports it; ctest's
+/// --output-on-failure prints both the path and the artifact itself.
+void reportFuzzFailure(const FuzzFailure& f, const std::string& where) {
+  const std::string path = artifactPath();
+  std::ofstream(path) << f.artifact();
+  ADD_FAILURE() << where << ": " << f.describe()
+                << "\nrepro artifact written to " << path << ":\n"
+                << f.artifact();
+}
+
+/// Captures one programmable block's activation sequence during a scalar
+/// simulation and mirrors it as generated-C harness commands: input-port
+/// deltas are staged with quiet 'setq' writes, then a single 'eval' (packet
+/// activation) or 'tick' (two-pass tick) runs -- exactly the update
+/// granularity the simulator gave the block.  `expected` accumulates the
+/// output lines the compiled harness must print.
+class LockstepRecorder {
+ public:
+  LockstepRecorder(const Simulator& sim, BlockId block, int inputs,
+                   int outputs)
+      : sim_(&sim),
+        block_(block),
+        outputs_(outputs),
+        prevIn_(static_cast<std::size_t>(inputs), 0) {}
+
+  void onActivate(bool isTick) {
+    std::vector<std::int64_t> cur(prevIn_.size());
+    for (std::size_t k = 0; k < cur.size(); ++k)
+      cur[k] = sim_->probe(block_, "in" + std::to_string(k));
+    if (!isTick && expectSecondPass_ && cur == prevIn_) {
+      // The cascade pass of a two-pass tick: the harness 'tick' command
+      // already runs it and prints afterwards.
+      expectSecondPass_ = false;
+      appendOutputs();
+      return;
+    }
+    expectSecondPass_ = false;
+    for (std::size_t k = 0; k < cur.size(); ++k)
+      if (cur[k] != prevIn_[k])
+        script_ += "setq " + std::to_string(k) + " " +
+                   std::to_string(cur[k]) + "\n";
+    prevIn_ = cur;
+    if (isTick) {
+      script_ += "tick\n";
+      expectSecondPass_ = true;
+    } else {
+      script_ += "eval\n";
+      appendOutputs();
+    }
+  }
+
+  const std::string& script() const { return script_; }
+  const std::string& expected() const { return expected_; }
+
+ private:
+  void appendOutputs() {
+    for (int k = 0; k < outputs_; ++k)
+      expected_ += std::to_string(sim_->probe(
+                       block_, "out" + std::to_string(k))) +
+                   (k + 1 == outputs_ ? "\n" : " ");
+    if (outputs_ == 0) expected_ += "\n";
+  }
+
+  const Simulator* sim_;
+  BlockId block_;
+  int outputs_;
+  std::vector<std::int64_t> prevIn_;
+  bool expectSecondPass_ = false;
+  std::string script_;
+  std::string expected_;
+};
+
+/// Compiles `cSource` with the test harness and feeds it `script`;
+/// returns stdout (pattern shared with generated_c_test.cpp).
+std::string runGeneratedC(const std::string& cSource,
+                          const std::string& script, const std::string& tag) {
+  const std::string dir = ::testing::TempDir();
+  const std::string base =
+      dir + "/eb_dfuzz_" + tag + "_" +
+      std::to_string(static_cast<long>(::getpid()));
+  {
+    std::ofstream f(base + ".c");
+    f << cSource;
+  }
+  {
+    std::ofstream f(base + "_in.txt");
+    f << script;
+  }
+  const std::string compile = "cc -std=c99 -O1 -DEB_TEST_HARNESS -o " + base +
+                              " " + base + ".c 2> " + base + "_cc.log";
+  if (std::system(compile.c_str()) != 0) {
+    std::ifstream log(base + "_cc.log");
+    std::stringstream ss;
+    ss << log.rdbuf();
+    ADD_FAILURE() << "cc failed:\n" << ss.str();
+    return {};
+  }
+  const std::string run = base + " < " + base + "_in.txt > " + base + "_out.txt";
+  EXPECT_EQ(std::system(run.c_str()), 0);
+  std::ifstream out(base + "_out.txt");
+  std::stringstream ss;
+  ss << out.rdbuf();
+  return ss.str();
+}
+
+/// One fuzz round over one random design: synthesize, batch-check the
+/// networks, then lockstep every synthesized block against its compiled C.
+void runDesignRound(std::uint32_t designSeed, int innerBlocks, int scripts,
+                    int events, bool withCompiledC) {
+  randgen::GeneratorOptions gen;
+  gen.seed = designSeed;
+  gen.innerBlocks = innerBlocks;
+  const Network original = randgen::randomNetwork(gen);
+  const synth::SynthResult synthesized = synth::synthesize(original);
+
+  // Leg 1: original vs synthesized, batch, with a repro artifact on
+  // failure.  Seed derivation is shared with randomStimulusCorpus below.
+  const std::uint32_t corpusSeed = designSeed * 101u + 3u;
+  if (const auto failure = batchFuzzEquivalenceDetailed(
+          original, synthesized.network, scripts, events, corpusSeed))
+    reportFuzzFailure(*failure,
+                      "design seed " + std::to_string(designSeed) +
+                          ": original vs synthesized");
+
+  if (!withCompiledC || synthesized.blocks.empty()) return;
+
+  // Leg 2: synthesized network vs compiled C, per programmable block.
+  // The same corpus the batch leg generated, replayed scalar with the
+  // activation hook recording each block's lockstep script.
+  std::vector<LockstepRecorder> recorders;
+  std::vector<BlockId> recorderOf(synthesized.network.blockCount(),
+                                  kNoBlock);
+  Simulator scalar(synthesized.network);
+  for (std::size_t i = 0; i < synthesized.blocks.size(); ++i) {
+    const auto id = synthesized.network.findBlock(
+        synthesized.blocks[i].instanceName);
+    ASSERT_TRUE(id.has_value()) << synthesized.blocks[i].instanceName;
+    recorderOf[*id] = static_cast<BlockId>(i);
+    recorders.emplace_back(scalar, *id,
+                           synthesized.blocks[i].merged.inputCount(),
+                           synthesized.blocks[i].merged.outputCount());
+  }
+  scalar.setActivationHook([&](BlockId b, bool isTick) {
+    if (recorderOf[b] != kNoBlock) recorders[recorderOf[b]].onActivate(isTick);
+  });
+  scalar.reset();  // re-run power-up with the hook attached
+  for (const Stimulus& script :
+       randomStimulusCorpus(original, scripts, events, corpusSeed)) {
+    for (const StimulusStep& s : script.steps()) {
+      if (s.kind == StimulusStep::Kind::kSetSensor) {
+        scalar.setSensor(s.sensor, s.value);
+        scalar.settle();
+      } else {
+        scalar.tick();
+      }
+    }
+  }
+  for (std::size_t i = 0; i < synthesized.blocks.size(); ++i) {
+    codegen::CEmitOptions emit;
+    emit.emitTestHarness = true;
+    const std::string c = codegen::emitC(synthesized.blocks[i].merged, emit);
+    EXPECT_EQ(runGeneratedC(c, recorders[i].script(),
+                            std::to_string(designSeed) + "_" +
+                                std::to_string(i)),
+              recorders[i].expected())
+        << "design seed " << designSeed << ", block "
+        << synthesized.blocks[i].instanceName
+        << ": compiled C diverged from the simulated synthesized network";
+  }
+}
+
+TEST(DifferentialFuzz, ThreeWayAgreementOnRandomDesigns) {
+  const bool compiledC = hostCompilerAvailable();
+  for (std::uint32_t seed = 1; seed <= 6; ++seed)
+    runDesignRound(seed, 4 + static_cast<int>(seed % 5), 16, 15, compiledC);
+}
+
+TEST(DifferentialFuzz, ArtifactRoundTripsThroughStimulus) {
+  // The repro path documented in docs/verification.md: parse the artifact,
+  // replay with the scalar checker, observe the same mismatch.
+  randgen::GeneratorOptions gen;
+  gen.seed = 11;
+  gen.innerBlocks = 6;
+  const Network original = randgen::randomNetwork(gen);
+  const synth::SynthResult synthesized = synth::synthesize(original);
+  const auto failure = batchFuzzEquivalenceDetailed(
+      original, synthesized.network, 8, 12, 77);
+  // Synthesis is behavior-preserving, so normally no failure: exercise the
+  // round trip on whichever outcome we got.
+  if (failure) {
+    const Stimulus replay = Stimulus::fromText(failure->artifact());
+    const auto again = checkEquivalence(original, synthesized.network,
+                                             replay);
+    ASSERT_TRUE(again.has_value());
+    EXPECT_EQ(again->stepIndex, failure->mismatch.stepIndex);
+    EXPECT_EQ(again->output, failure->mismatch.output);
+  } else {
+    EXPECT_FALSE(fuzzEquivalence(original, synthesized.network, 8, 12, 77)
+                     .has_value());
+  }
+}
+
+// Known limitation, pinned so the exclusion list below stays honest:
+// synthesis preserves settled values but not transient waveforms (merging
+// collapses hop delays), and level/edge-sensitive blocks -- trip,
+// trip_reset, toggle's rising-edge detector -- can latch a transient that
+// exists only under one delay assignment.  Design seed 107 has exactly
+// that shape: a reconvergent fan-in (one branch through an extra delay_1)
+// produces a one-instant pulse at a trip input in the original network;
+// the merged network never sees the pulse, and the trip outputs diverge
+// forever after.  The steady states agree on both sides -- only the
+// latched transient differs.  See docs/verification.md, "Known
+// limitation: transient capture".
+TEST(DifferentialFuzz, TransientLatchDivergenceIsCharacterized) {
+  randgen::GeneratorOptions gen;
+  gen.seed = 107;
+  gen.innerBlocks = 4 + 107 % 12;
+  const Network original = randgen::randomNetwork(gen);
+  const auto synthesized = synth::synthesize(original);
+  const std::uint32_t corpusSeed = 107u * 101u + 3u;
+  const auto batch = batchFuzzEquivalenceDetailed(
+      original, synthesized.network, kLanes, 30, corpusSeed);
+  const auto scalar = fuzzEquivalenceDetailed(original, synthesized.network,
+                                              kLanes, 30, corpusSeed);
+  ASSERT_TRUE(batch.has_value());
+  ASSERT_TRUE(scalar.has_value());
+  EXPECT_EQ(batch->round, scalar->round);
+  EXPECT_EQ(batch->script, scalar->script);
+  EXPECT_EQ(batch->mismatch.stepIndex, scalar->mismatch.stepIndex);
+  EXPECT_EQ(batch->mismatch.output, scalar->mismatch.output);
+  // The artifact alone reproduces it, deterministically.
+  const auto replay = checkEquivalence(original, synthesized.network,
+                                       Stimulus::fromText(batch->artifact()));
+  ASSERT_TRUE(replay.has_value());
+  EXPECT_EQ(replay->stepIndex, batch->mismatch.stepIndex);
+}
+
+// Nightly extended sweep (ctest label fuzz.long, CONFIGURATIONS nightly).
+// The seed list is every seed in [100, 126] whose design is free of the
+// transient-capture hazard characterized above (107 and 122 are the two
+// whose verdict legitimately diverges; both are latch-glitch designs).
+TEST(DifferentialFuzz, LongFuzz) {
+  if (std::getenv("EBLOCKS_LONG_FUZZ") == nullptr)
+    GTEST_SKIP() << "set EBLOCKS_LONG_FUZZ=1 (nightly fuzz.long ctest entry)";
+  const bool compiledC = hostCompilerAvailable();
+  static constexpr std::uint32_t kSeeds[] = {
+      100, 101, 102, 103, 104, 105, 106, 108, 109, 110, 111, 112, 113,
+      114, 115, 116, 117, 118, 119, 120, 121, 123, 124, 125, 126};
+  for (const std::uint32_t seed : kSeeds)
+    runDesignRound(seed, 4 + static_cast<int>(seed % 12), kLanes, 30,
+                   compiledC);
+}
+
+}  // namespace
+}  // namespace eblocks::sim

@@ -1,0 +1,155 @@
+// Scalar Simulator edge cases the batch lanes must match exactly:
+// same-instant event batching, oscillating feedback, name errors, ticks on
+// quiescent networks, and the recordTrace=false fast path.
+#include <gtest/gtest.h>
+
+#include "blocks/catalog.h"
+#include "designs/library.h"
+#include "sim/simulator.h"
+
+namespace eblocks::sim {
+namespace {
+
+using blocks::defaultCatalog;
+
+TEST(SimulatorEdge, SameInstantPacketsActivateDestinationOnce) {
+  // splitter2 fans one press out to both and2 inputs; both packets arrive
+  // in the same instant, so and2 must evaluate once, with both inputs
+  // already updated (drain-then-evaluate), and settle at 1.
+  const auto& cat = defaultCatalog();
+  Network net;
+  const BlockId s = net.addBlock("s", cat.button());
+  const BlockId split = net.addBlock("split", cat.splitter(2));
+  const BlockId g = net.addBlock("g", cat.and2());
+  const BlockId o = net.addBlock("o", cat.led());
+  net.connect(s, 0, split, 0);
+  net.connect(split, 0, g, 0);
+  net.connect(split, 1, g, 1);
+  net.connect(g, 0, o, 0);
+
+  Simulator sim(net);
+  const std::uint64_t before = sim.activations();
+  sim.setSensor(s, 1);
+  sim.settle();
+  EXPECT_EQ(sim.outputValue(o), 1);
+  // s, split, g, o: exactly one activation each -- g did NOT evaluate per
+  // arriving packet.
+  EXPECT_EQ(sim.activations() - before, 4u);
+}
+
+TEST(SimulatorEdge, LaterSameInstantPacketWinsAPort) {
+  // Two buttons feed or2 through paths of equal length; pressing both
+  // then settling once delivers both packets in one instant.  Seq order
+  // applies the later write last -- behaviorally visible only through the
+  // settled value being computed from both updated ports.
+  const auto& cat = defaultCatalog();
+  Network net;
+  const BlockId s1 = net.addBlock("s1", cat.button());
+  const BlockId s2 = net.addBlock("s2", cat.button());
+  const BlockId g = net.addBlock("g", cat.or2());
+  const BlockId o = net.addBlock("o", cat.led());
+  net.connect(s1, 0, g, 0);
+  net.connect(s2, 0, g, 1);
+  net.connect(g, 0, o, 0);
+
+  Simulator sim(net);
+  sim.setSensor(s1, 1);
+  sim.setSensor(s2, 1);  // same instant as s1's packet
+  const std::uint64_t before = sim.activations();
+  sim.settle();
+  EXPECT_EQ(sim.outputValue(o), 1);
+  EXPECT_EQ(sim.activations() - before, 2u);  // g once, o once
+  sim.setSensor(s1, 0);
+  sim.setSensor(s2, 0);
+  sim.settle();
+  EXPECT_EQ(sim.outputValue(o), 0);
+}
+
+TEST(SimulatorEdge, OscillatingFeedbackExhaustsBudget) {
+  // A ring with one net inversion (not -> yes -> back) can never settle;
+  // the budget guard must fire (already at construction, whose reset()
+  // settles the power-up wave).
+  const auto& cat = defaultCatalog();
+  Network net;
+  const BlockId inv = net.addBlock("inv", cat.inverter());
+  const BlockId buf = net.addBlock("buf", cat.buffer());
+  const BlockId o = net.addBlock("o", cat.led());
+  net.connect(inv, 0, buf, 0);
+  net.connect(buf, 0, inv, 0);
+  net.connect(inv, 0, o, 0);
+  SimOptions opts;
+  opts.maxEventsPerSettle = 100;
+  EXPECT_THROW(Simulator(net, opts), SimError);
+}
+
+TEST(SimulatorEdge, UnknownNamesReportErrors) {
+  const Network net = designs::garageOpenAtNight();
+  Simulator sim(net);
+  EXPECT_THROW(sim.setSensor("no_such_sensor", 1), SimError);
+  EXPECT_THROW(sim.outputValue("no_such_output"), SimError);
+}
+
+TEST(SimulatorEdge, TickOnQuiescentCombinationalNetworkIsNoOp) {
+  // No sequential blocks: a tick activates nothing and delivers nothing.
+  const auto& cat = defaultCatalog();
+  Network net;
+  const BlockId s = net.addBlock("s", cat.button());
+  const BlockId g = net.addBlock("g", cat.inverter());
+  const BlockId o = net.addBlock("o", cat.led());
+  net.connect(s, 0, g, 0);
+  net.connect(g, 0, o, 0);
+
+  Simulator sim(net);
+  const std::int64_t out = sim.outputValue(o);
+  const std::uint64_t activations = sim.activations();
+  const std::uint64_t packets = sim.packetsDelivered();
+  sim.tick();
+  sim.tick();
+  EXPECT_EQ(sim.outputValue(o), out);
+  EXPECT_EQ(sim.activations(), activations);
+  EXPECT_EQ(sim.packetsDelivered(), packets);
+}
+
+TEST(SimulatorEdge, TickOnQuiescentSequentialNetworkIsIdempotent) {
+  // Sequential blocks do activate on ticks, but a settled toggle with no
+  // input change must not emit anything.
+  const auto& cat = defaultCatalog();
+  Network net;
+  const BlockId s = net.addBlock("s", cat.button());
+  const BlockId g = net.addBlock("g", cat.toggle());
+  const BlockId o = net.addBlock("o", cat.led());
+  net.connect(s, 0, g, 0);
+  net.connect(g, 0, o, 0);
+
+  Simulator sim(net);
+  sim.apply("s", 1);
+  const std::int64_t out = sim.outputValue(o);
+  const std::uint64_t packets = sim.packetsDelivered();
+  sim.tick();
+  EXPECT_EQ(sim.outputValue(o), out);
+  EXPECT_EQ(sim.packetsDelivered(), packets);  // no packet traffic at all
+}
+
+// Satellite regression: with recordTrace=false the trace buffer must stay
+// empty AND unallocated -- equivalence/fuzz runs pay nothing for tracing.
+TEST(SimulatorEdge, DisabledTraceNeverAllocates) {
+  const Network net = designs::figure5();
+  SimOptions opts;
+  opts.recordTrace = false;
+  Simulator sim(net, opts);
+  sim.apply("start_button", 1);
+  for (int i = 0; i < 20; ++i) sim.tick();
+  sim.apply("start_button", 0);
+  EXPECT_TRUE(sim.trace().empty());
+  EXPECT_EQ(sim.trace().capacity(), 0u);
+
+  // Control: the same run with tracing on does record display changes.
+  Simulator traced(net);
+  traced.apply("start_button", 1);
+  for (int i = 0; i < 20; ++i) traced.tick();
+  traced.apply("start_button", 0);
+  EXPECT_FALSE(traced.trace().empty());
+}
+
+}  // namespace
+}  // namespace eblocks::sim
