@@ -56,6 +56,19 @@ check() { # file marker command
 check "$root/docs/pipeline.md" help help
 check "$root/docs/partitioning.md" algorithms algorithms
 
+# Beyond the embedded registry dump: every registered strategy name must
+# be discussed in the partitioning guide's prose (as `name`), so adding
+# a strategy without documenting it breaks CI even if the fenced block
+# was regenerated.
+while read -r name; do
+  [[ -z "$name" ]] && continue
+  if ! grep -q "\`$name\`" "$root/docs/partitioning.md"; then
+    echo "doc-drift: strategy '$name' is registered but never mentioned" \
+         "as \`$name\` in docs/partitioning.md" >&2
+    fail=1
+  fi
+done < <(live_output algorithms | awk '{print $1}' | sort -u)
+
 if [[ $fail -ne 0 ]]; then
   echo "doc-drift: FAILED -- update the fenced blocks to match the shell" >&2
   exit 1

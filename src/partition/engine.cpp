@@ -7,6 +7,9 @@
 
 #include "partition/aggregation.h"
 #include "partition/exhaustive.h"
+#include "partition/fm_refine.h"
+#include "partition/greedy_seed.h"
+#include "partition/lns.h"
 #include "partition/paredown.h"
 
 namespace eblocks::partition {
@@ -52,8 +55,71 @@ class ExhaustiveStrategy final : public Partitioner {
     ex.threads = options.threads;
     ex.scheduler = options.scheduler;
     ex.pruningBound = options.pruningBound;
+    // Warm start: seed the incumbent with the cheapest known solution.
+    // Both sources are pure accelerators (trust-but-verify inside the
+    // search), so taking the cheaper one never changes the optimum.
     if (options.seedFromPareDown) ex.seed = pareDown(problem).result;
+    if (options.initialIncumbent) {
+      const int n = problem.innerCount();
+      if (!ex.seed || options.initialIncumbent->totalAfter(n) <
+                          ex.seed->totalAfter(n))
+        ex.seed = options.initialIncumbent;
+    }
     return exhaustiveSearch(problem, ex);
+  }
+};
+
+class GreedySeedStrategy final : public Partitioner {
+ public:
+  std::string name() const override { return "greedy"; }
+  std::string description() const override {
+    return "constructive BFS cluster growth + residual PareDown; "
+           "near-linear seed for fm/lns";
+  }
+  PartitionRun run(const PartitionProblem& problem,
+                   const EngineOptions&) const override {
+    return greedySeed(problem);
+  }
+};
+
+class FmStrategy final : public Partitioner {
+ public:
+  std::string name() const override { return "fm"; }
+  std::string description() const override {
+    return "FM-style pass-based refinement of the greedy seed (gain "
+           "buckets, rollback-to-best-prefix)";
+  }
+  PartitionRun run(const PartitionProblem& problem,
+                   const EngineOptions&) const override {
+    const PartitionRun seed = greedySeed(problem);
+    PartitionRun refined = fmRefine(problem, seed.result);
+    refined.explored += seed.explored;
+    refined.seconds += seed.seconds;
+    return refined;
+  }
+};
+
+class LnsStrategy final : public Partitioner {
+ public:
+  std::string name() const override { return "lns"; }
+  std::string description() const override {
+    return "anytime large-neighborhood search over fm's solution "
+           "(pocket destroy + exact B&B repair)";
+  }
+  PartitionRun run(const PartitionProblem& problem,
+                   const EngineOptions& options) const override {
+    const PartitionRun seed = greedySeed(problem);
+    const PartitionRun refined = fmRefine(problem, seed.result);
+    LnsOptions lns;
+    lns.timeLimitSeconds = options.timeLimitSeconds;
+    lns.pocketSize = options.lnsPocket;
+    lns.maxRounds = options.lnsRounds;
+    lns.repairNodeBudget = options.lnsRepairNodes;
+    lns.rngSeed = options.rngSeed;
+    PartitionRun out = lnsSearch(problem, refined.result, lns);
+    out.explored += seed.explored + refined.explored;
+    out.seconds += seed.seconds + refined.seconds;
+    return out;
   }
 };
 
@@ -85,7 +151,30 @@ class MultiTypeExhaustiveStrategy final : public TypedPartitioner {
     ex.pruningBound = options.pruningBound;
     if (options.seedFromPareDown)
       ex.seed = multiTypePareDown(net, model).result;
+    if (options.initialTypedIncumbent) {
+      const int n = static_cast<int>(net.innerBlocks().size());
+      if (!ex.seed || options.initialTypedIncumbent->totalCost(n, model) <
+                          ex.seed->totalCost(n, model))
+        ex.seed = options.initialTypedIncumbent;
+    }
     return multiTypeExhaustive(net, model, ex);
+  }
+};
+
+class MultiTypeFmStrategy final : public TypedPartitioner {
+ public:
+  std::string name() const override { return "fm"; }
+  std::string description() const override {
+    return "FM-style refinement of the cost-aware PareDown solution "
+           "under the option cost model";
+  }
+  TypedPartitionRun run(const Network& net, const ProgCostModel& model,
+                        const EngineOptions&) const override {
+    const TypedPartitionRun seed = multiTypePareDown(net, model);
+    TypedPartitionRun refined = multiTypeFmRefine(net, model, seed.result);
+    refined.explored += seed.explored;
+    refined.seconds += seed.seconds;
+    return refined;
   }
 };
 
@@ -114,8 +203,12 @@ PartitionerRegistry& PartitionerRegistry::instance() {
     r->add(std::make_unique<PareDownStrategy>());
     r->add(std::make_unique<ExhaustiveStrategy>());
     r->add(std::make_unique<AggregationStrategy>());
+    r->add(std::make_unique<GreedySeedStrategy>());
+    r->add(std::make_unique<FmStrategy>());
+    r->add(std::make_unique<LnsStrategy>());
     r->add(std::make_unique<MultiTypePareDownStrategy>());
     r->add(std::make_unique<MultiTypeExhaustiveStrategy>());
+    r->add(std::make_unique<MultiTypeFmStrategy>());
     return r;
   }();
   return *registry;

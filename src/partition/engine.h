@@ -10,10 +10,18 @@
 // name, new algorithms register once and are immediately reachable
 // everywhere, and engine-level options (time limit, threads, seeding)
 // apply uniformly.
+//
+// Registered built-ins -- plain: paredown, aggregation, exhaustive,
+// greedy, fm, lns; multi-type: paredown, exhaustive, fm.  The heuristic
+// chain greedy -> fm -> lns is anytime (each stage refines the last,
+// never worse); `initialIncumbent` feeds any of their solutions back
+// into the exact searches as a warm start.
 #ifndef EBLOCKS_PARTITION_ENGINE_H_
 #define EBLOCKS_PARTITION_ENGINE_H_
 
+#include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -50,6 +58,23 @@ struct EngineOptions {
   /// accelerator: results are bit-identical on or off.  Disable to
   /// measure the unpruned search (bench_exhaustive_blowup ablates it).
   bool pruningBound = true;
+  /// Warm start for the exhaustive strategies: a known-valid solution
+  /// (commonly `fm`'s) that seeds the shared atomic incumbent.  A pure
+  /// pruning accelerator like seedFromPareDown -- the optimum returned
+  /// is bit-identical -- but a tighter incumbent cuts more subtrees; the
+  /// exhaustive strategies seed with whichever of PareDown's solution
+  /// and this one is cheaper.  Heuristic strategies ignore it.
+  std::optional<Partitioning> initialIncumbent;
+  /// Multi-type counterpart of initialIncumbent.
+  std::optional<TypedPartitioning> initialTypedIncumbent;
+  /// `lns` strategy: blocks per destroyed pocket (0 = auto; see lns.h).
+  int lnsPocket = 0;
+  /// `lns` strategy: destroy/repair rounds (0 = until the time limit).
+  int lnsRounds = 0;
+  /// `lns` strategy: node budget per repair search.
+  std::uint64_t lnsRepairNodes = 200000;
+  /// Seed for randomized strategies (`lns`'s destroy step).
+  std::uint32_t rngSeed = 1;
 };
 
 /// A partitioning strategy for the plain (single block type) problem.

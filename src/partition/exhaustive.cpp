@@ -82,7 +82,10 @@ struct SearchContext {
   // pruningBound statics (empty / unused when the layer is off).
   std::vector<int> suffixUnbinnable;
   BitSet baseFrozen;
-  /// Cost of the initial incumbent (seed or "replace nothing").
+  /// Strict cost bound from the initial incumbent: nodes at or above it
+  /// prune.  "Replace nothing" baseline -> n; a cheaper heuristic seed
+  /// -> seedCost + 1 (equal-cost solutions must stay reachable so the
+  /// returned optimum is bit-identical to the unseeded search's).
   int initialBound = 0;
   Clock::time_point deadline;
 };
@@ -118,6 +121,11 @@ struct Task {
 struct SharedState {
   std::atomic<std::uint64_t> liveKey{0};
   std::atomic<bool> timedOut{false};
+  /// Nodes charged against ExhaustiveOptions::nodeBudget, in 4096-node
+  /// granules (workers charge a granule each time their periodic check
+  /// fires, so the counter lags explored_ by at most one granule per
+  /// worker).
+  std::atomic<std::uint64_t> budgetUsed{0};
 };
 
 std::uint64_t packKey(int cost, std::uint32_t ordinal) {
@@ -269,6 +277,13 @@ class Worker {
       if (shared_.timedOut.load(std::memory_order_relaxed)) {
         aborted_ = true;
       } else if (Clock::now() > ctx_.deadline) {
+        shared_.timedOut.store(true, std::memory_order_relaxed);
+        aborted_ = true;
+      } else if (ctx_.options.nodeBudget != 0 &&
+                 shared_.budgetUsed.fetch_add(
+                     0x1000, std::memory_order_relaxed) +
+                         0x1000 >=
+                     ctx_.options.nodeBudget) {
         shared_.timedOut.store(true, std::memory_order_relaxed);
         aborted_ = true;
       }
@@ -565,9 +580,20 @@ PartitionRun exhaustiveSearch(const PartitionProblem& problem,
   SearchContext ctx(problem, options);
   const int n = static_cast<int>(ctx.inner.size());
 
-  // Initial incumbent, exactly as the serial search has always set it.
-  int bestCost = n + 1;  // worse than "no-op"
+  // Initial incumbent: "no partitions" is always feasible with cost n.
+  // A heuristic seed that beats it is installed at ordinal UINT32_MAX --
+  // lexicographically *behind* every real DFS node of equal cost -- so
+  // the search still rediscovers and returns the canonical (first in
+  // serial DFS order) optimum whenever the seed merely ties it, and the
+  // result stays bit-identical to the unseeded search's.  The strict
+  // bound is seedCost + 1 for the same reason: equal-cost subtrees ahead
+  // of the incumbent's ordinal must stay alive.  Unseeded searches keep
+  // the historical (n, ordinal 0, bound n) baseline, so their node
+  // counts are unchanged.
+  int bestCost = n;
+  std::uint32_t bestOrdinal = 0;
   Partitioning best;
+  ctx.initialBound = n;
   if (options.seed) {
     const int seedCost = options.seed->totalAfter(n);
     // Trust but verify: only use a seed that is actually feasible.
@@ -575,20 +601,17 @@ PartitionRun exhaustiveSearch(const PartitionProblem& problem,
     for (const BitSet& p : options.seed->partitions)
       if (!isValidPartition(problem, p, options.requireConvex))
         feasible = false;
-    if (feasible && seedCost <= bestCost) {
+    if (feasible && seedCost < n) {
       bestCost = seedCost;
+      bestOrdinal = std::numeric_limits<std::uint32_t>::max();
       best = *options.seed;
+      ctx.initialBound = seedCost + 1;
     }
   }
-  // "No partitions" is always feasible with cost n.
-  if (n < bestCost) {
-    bestCost = n;
-    best.partitions.clear();
-  }
-  ctx.initialBound = bestCost;
 
   SharedState shared;
-  shared.liveKey.store(packKey(bestCost, 0), std::memory_order_relaxed);
+  shared.liveKey.store(packKey(bestCost, bestOrdinal),
+                       std::memory_order_relaxed);
 
   const int threads = resolveSearchThreads(options.threads);
   std::uint64_t explored = 0;
@@ -663,7 +686,7 @@ PartitionRun exhaustiveSearch(const PartitionProblem& problem,
   // as a packed (cost, DFS-ordinal) key; the smallest key over all
   // workers -- against the initial incumbent at ordinal 0 -- reproduces
   // the serial result bit for bit.
-  std::uint64_t bestKey = packKey(bestCost, 0);
+  std::uint64_t bestKey = packKey(bestCost, bestOrdinal);
   for (const auto& worker : workers) {
     if (worker && worker->bestKey() < bestKey) {
       bestKey = worker->bestKey();

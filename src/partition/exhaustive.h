@@ -65,6 +65,13 @@ struct ExhaustiveOptions {
   /// Seed the branch-and-bound with a known solution (commonly PareDown's).
   /// Purely an accelerator: never changes the optimum found.
   std::optional<Partitioning> seed;
+  /// Abort after (approximately) this many explored nodes, returning the
+  /// best solution so far with run.timedOut = true -- the LNS repair
+  /// oracle's budget (lns.h).  Checked at the same 4096-node cadence as
+  /// the wall clock, so the effective budget rounds up to that granule
+  /// and a serial run aborts at a machine-independent node.  0 = no
+  /// budget.
+  std::uint64_t nodeBudget = 0;
   /// Worker threads for the branch-and-bound.  0 = one per hardware
   /// thread (std::thread::hardware_concurrency), 1 = the original serial
   /// search.  Every thread count returns the identical result unless the

@@ -1,0 +1,255 @@
+#include "partition/lns.h"
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "blocks/catalog.h"
+#include "partition/exhaustive.h"
+
+namespace eblocks::partition {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Deterministic destroy RNG (xorshift32).
+struct Rng {
+  std::uint32_t state;
+  explicit Rng(std::uint32_t seed) : state(seed ? seed : 0x9e3779b9u) {}
+  std::uint32_t next() {
+    state ^= state << 13;
+    state ^= state >> 17;
+    state ^= state << 5;
+    return state;
+  }
+  std::uint32_t below(std::uint32_t n) { return next() % n; }
+};
+
+/// The stub subnetwork a pocket is repaired in, plus the id mapping back
+/// to the full network.
+struct PocketProblem {
+  Network net{"lns_pocket"};
+  std::vector<BlockId> subToFull;          // inner (pocket) blocks only
+  std::vector<std::int32_t> fullToSub;     // -1 for non-pocket blocks
+};
+
+/// Lifts `pocket` (full-network ids) into a stub subnetwork whose port
+/// counting matches the original in both modes (see the header comment).
+PocketProblem liftPocket(const Network& net, const CompactGraph& graph,
+                         const std::vector<BlockId>& pocket) {
+  PocketProblem out;
+  out.fullToSub.assign(net.blockCount(), -1);
+  for (const BlockId b : pocket) {
+    const Block& block = net.block(b);
+    const BlockId sub = out.net.addBlock(block.name, block.type);
+    out.fullToSub[b] = static_cast<std::int32_t>(sub);
+    out.subToFull.push_back(b);
+  }
+  const blocks::Catalog& catalog = blocks::defaultCatalog();
+  // One stub sensor per distinct outside source endpoint, addressed by
+  // the full graph's dense endpoint id.
+  std::vector<std::int32_t> stubFor(graph.endpointCount(), -1);
+  int stubs = 0;
+  for (const BlockId b : pocket) {
+    const BlockId sub =
+        static_cast<BlockId>(out.fullToSub[b]);
+    for (const Connection& c : net.inputsOf(b)) {
+      const std::int32_t srcSub = out.fullToSub[c.from.block];
+      if (srcSub >= 0) {
+        out.net.connect(static_cast<BlockId>(srcSub), c.from.port, sub,
+                        c.to.port);
+        continue;
+      }
+      const std::uint32_t e = graph.endpointId(c.from);
+      if (stubFor[e] < 0) {
+        stubFor[e] = static_cast<std::int32_t>(out.net.addBlock(
+            "__lns_in_" + std::to_string(stubs++), catalog.button()));
+      }
+      out.net.connect(static_cast<BlockId>(stubFor[e]), 0, sub, c.to.port);
+    }
+    for (const Connection& c : net.outputsOf(b)) {
+      if (out.fullToSub[c.to.block] >= 0) continue;  // mirrored above
+      const BlockId led = out.net.addBlock(
+          "__lns_out_" + std::to_string(stubs++), catalog.led());
+      out.net.connect(sub, c.from.port, led, 0);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+PartitionRun lnsSearch(const PartitionProblem& problem,
+                       const Partitioning& initial,
+                       const LnsOptions& options) {
+  const auto start = Clock::now();
+  const Clock::time_point deadline =
+      options.timeLimitSeconds > 0
+          ? start + std::chrono::duration_cast<Clock::duration>(
+                        std::chrono::duration<double>(
+                            options.timeLimitSeconds))
+          : Clock::time_point::max();
+  const Network& net = problem.network();
+  const CompactGraph& graph = problem.graph();
+  const int innerCount = problem.innerCount();
+
+  PartitionRun run;
+  run.algorithm = "lns";
+  run.result = initial;
+  if (innerCount == 0) return run;
+
+  const int pocketSize =
+      options.pocketSize > 0 ? options.pocketSize : std::min(innerCount, 12);
+  Rng rng(options.rngSeed);
+
+  int stall = 0;
+  std::vector<std::int32_t> binOf(net.blockCount());
+  std::vector<BlockId> pocket, queue, uncovered;
+  BitSet inPocket(net.blockCount());
+  for (int round = 0; options.maxRounds == 0 || round < options.maxRounds;
+       ++round) {
+    if (Clock::now() > deadline) {
+      run.timedOut = true;
+      break;
+    }
+    if (options.stallRounds > 0 && stall >= options.stallRounds) break;
+
+    // Current assignment + uncovered list (ascending ids).
+    std::fill(binOf.begin(), binOf.end(), -1);
+    for (std::size_t p = 0; p < run.result.partitions.size(); ++p)
+      run.result.partitions[p].forEach(
+          [&](std::size_t b) { binOf[b] = static_cast<std::int32_t>(p); });
+    uncovered.clear();
+    for (const BlockId b : problem.innerBlocks())
+      if (binOf[b] < 0) uncovered.push_back(b);
+
+    // Destroy: BFS a pocket of whole bins from a boundary-biased start.
+    const BlockId startBlock =
+        (!uncovered.empty() && round % 2 == 0)
+            ? uncovered[rng.below(
+                  static_cast<std::uint32_t>(uncovered.size()))]
+            : problem.innerBlocks()[rng.below(
+                  static_cast<std::uint32_t>(innerCount))];
+    pocket.clear();
+    queue.clear();
+    inPocket.clear();
+    const auto absorb = [&](BlockId b) {
+      // Whole-bin granularity keeps the untouched remainder a valid
+      // partitioning by construction.
+      const auto take = [&](BlockId m) {
+        if (inPocket.test(m)) return;
+        inPocket.set(m);
+        pocket.push_back(m);
+        queue.push_back(m);
+      };
+      if (binOf[b] >= 0)
+        run.result.partitions[binOf[b]].forEach(
+            [&](std::size_t m) { take(static_cast<BlockId>(m)); });
+      else
+        take(b);
+    };
+    absorb(startBlock);
+    std::size_t head = 0;
+    const auto expand = [&] {
+      for (; head < queue.size() &&
+             static_cast<int>(pocket.size()) < pocketSize;
+           ++head) {
+        const BlockId x = queue[head];
+        const auto visit = [&](BlockId nb) {
+          if (static_cast<int>(pocket.size()) < pocketSize &&
+              graph.isInner(nb) && !inPocket.test(nb))
+            absorb(nb);
+        };
+        for (const CompactArc& a : graph.inArcs(x)) visit(a.neighbor);
+        for (const CompactArc& a : graph.outArcs(x)) visit(a.neighbor);
+      }
+    };
+    expand();
+    // A drained frontier short of the target means the start's component
+    // is exhausted; restart from the lowest-id unabsorbed inner block so
+    // a full-design pocket covers disconnected inner graphs too.
+    for (const BlockId b : problem.innerBlocks()) {
+      if (static_cast<int>(pocket.size()) >= pocketSize) break;
+      if (inPocket.test(b)) continue;
+      absorb(b);
+      expand();
+    }
+    if (pocket.size() < 2) {
+      ++stall;
+      continue;
+    }
+    std::sort(pocket.begin(), pocket.end());
+
+    // Repair: exact search on the lifted pocket, seeded with what the
+    // destroy removed, clipped by the node budget and the deadline.
+    PocketProblem sub = liftPocket(net, graph, pocket);
+    const PartitionProblem subProblem(sub.net, problem.spec());
+    ExhaustiveOptions repair;
+    repair.threads = 1;
+    repair.nodeBudget = options.repairNodeBudget;
+    repair.pruningBound = true;
+    if (deadline != Clock::time_point::max())
+      repair.timeLimitSeconds =
+          std::chrono::duration<double>(deadline - Clock::now()).count();
+    Partitioning seed;
+    int pocketBins = 0;
+    for (const BitSet& p : run.result.partitions) {
+      if (!inPocket.test(p.findFirst())) continue;
+      ++pocketBins;
+      BitSet mapped = sub.net.emptySet();
+      p.forEach([&](std::size_t b) {
+        mapped.set(static_cast<std::size_t>(sub.fullToSub[b]));
+      });
+      seed.partitions.push_back(std::move(mapped));
+    }
+    repair.seed = std::move(seed);
+    const PartitionRun repaired = exhaustiveSearch(subProblem, repair);
+    run.explored += repaired.explored;
+    run.pruned += repaired.pruned;
+
+    // Accept strict improvements of the paper's objective.  The repair
+    // was seeded with the destroyed pocket solution, so it can never
+    // come back worse -- only equal (stall) or better.
+    int pocketCoveredBefore = 0;
+    for (const BitSet& p : run.result.partitions)
+      if (inPocket.test(p.findFirst()))
+        pocketCoveredBefore += static_cast<int>(p.count());
+    const int before = pocketBins + static_cast<int>(pocket.size()) -
+                       pocketCoveredBefore;
+    const int after = repaired.result.totalAfter(
+        static_cast<int>(sub.subToFull.size()));
+    if (after < before) {
+      std::vector<BitSet> next;
+      for (const BitSet& p : run.result.partitions)
+        if (!inPocket.test(p.findFirst())) next.push_back(p);
+      for (const BitSet& p : repaired.result.partitions) {
+        BitSet mapped = net.emptySet();
+        p.forEach([&](std::size_t b) {
+          mapped.set(sub.subToFull[b]);
+        });
+        next.push_back(std::move(mapped));
+      }
+      std::sort(next.begin(), next.end(),
+                [](const BitSet& a, const BitSet& b) {
+                  return a.findFirst() < b.findFirst();
+                });
+      run.result.partitions = std::move(next);
+      stall = 0;
+    } else {
+      ++stall;
+    }
+    if (static_cast<int>(pocket.size()) == innerCount && repaired.optimal) {
+      // The round was a completed exact search of the whole design.
+      run.optimal = true;
+      break;
+    }
+  }
+
+  run.seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  return run;
+}
+
+}  // namespace eblocks::partition

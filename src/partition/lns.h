@@ -1,0 +1,78 @@
+// Large-neighborhood search: destroy a pocket of blocks, re-solve it
+// exactly, accept improvements, repeat until the anytime budget runs out.
+//
+// Each round picks a pocket of ~pocketSize inner blocks by BFS from a
+// start block (boundary-biased: rounds alternate between starting at an
+// uncovered block -- the blocks a better solution must pair up -- and a
+// uniformly random inner block).  The BFS absorbs *whole bins*, so the
+// pocket is always a union of complete partitions plus uncovered blocks,
+// and the rest of the solution is untouched by construction.
+//
+// The pocket is then re-solved with the existing branch-and-bound as the
+// repair oracle.  The pocket is lifted into a stub subnetwork that
+// reproduces its port-counting environment exactly, in both modes:
+//   - one stub sensor per distinct outside source endpoint feeding the
+//     pocket, wired per original connection (kEdges sees the same
+//     crossing-connection counts; kSignals the same distinct sources);
+//   - one stub output block per boundary out-connection (kEdges exact;
+//     kSignals collapses to distinct member endpoints, as the original
+//     outside consumers would);
+//   - pocket-internal connections mirrored verbatim.
+// Outside blocks can never join a pocket bin, so treating them as
+// non-inner stubs is exact, not an approximation: any repair of the stub
+// problem scores identically when mapped back.  The repair search runs
+// serially, seeded with the current pocket solution and clipped by
+// ExhaustiveOptions::nodeBudget, so a round costs bounded, deterministic
+// work and can never return worse than what it destroyed; strictly
+// better pocket solutions are accepted (monotone descent on the paper's
+// objective).
+//
+// Anytime contract: lnsSearch honors a wall-clock deadline, stops early
+// after a stall streak, and returns the best solution found.  A round
+// whose pocket covered *every* inner block and whose repair ran to
+// completion is a completed exact search -- run.optimal is set, which is
+// how `lns` with a generous budget proves optimality on small designs.
+//
+// Determinism: the destroy RNG is a fixed xorshift seeded from
+// LnsOptions::rngSeed and every repair is serial, so a run that is not
+// cut off mid-round by the wall clock replays identically.
+#ifndef EBLOCKS_PARTITION_LNS_H_
+#define EBLOCKS_PARTITION_LNS_H_
+
+#include <cstdint>
+
+#include "partition/problem.h"
+#include "partition/result.h"
+
+namespace eblocks::partition {
+
+struct LnsOptions {
+  /// Wall-clock budget for the whole search; <= 0 disables the clock
+  /// (rounds/stall limits then bound the run).
+  double timeLimitSeconds = 60.0;
+  /// Blocks per destroyed pocket; 0 = auto (12, clamped to the design).
+  /// >= the design's inner count turns each round into a full exact
+  /// search seeded by the incumbent.
+  int pocketSize = 0;
+  /// Destroy/repair rounds; 0 = until the time limit or stall limit.
+  int maxRounds = 0;
+  /// Consecutive non-improving rounds before giving up; 0 = never stall
+  /// out.
+  int stallRounds = 64;
+  /// Node budget per repair search (ExhaustiveOptions::nodeBudget).
+  std::uint64_t repairNodeBudget = 200000;
+  /// Seed of the destroy RNG.
+  std::uint32_t rngSeed = 1;
+};
+
+/// Runs the search from `initial` (which must be verifyPartitioning-
+/// clean; typically fm's output).  `run.explored` sums the repair
+/// searches' explored nodes; `run.timedOut` reports whether the wall
+/// clock (rather than convergence or optimality) ended the run.
+PartitionRun lnsSearch(const PartitionProblem& problem,
+                       const Partitioning& initial,
+                       const LnsOptions& options = {});
+
+}  // namespace eblocks::partition
+
+#endif  // EBLOCKS_PARTITION_LNS_H_

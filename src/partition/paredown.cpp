@@ -52,7 +52,8 @@ PartitionRun pareDown(const PartitionProblem& problem,
   PartitionRun run;
   run.algorithm = "paredown";
 
-  BitSet blocks = problem.innerSet();
+  BitSet blocks =
+      options.restrictTo ? *options.restrictTo : problem.innerSet();
   // The candidate's port usage, border set, and removal ranks are all
   // maintained incrementally: each paring round removes one block, so the
   // counter update is O(degree) instead of a full countIo() /

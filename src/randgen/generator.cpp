@@ -145,6 +145,23 @@ Network randomNetwork(const GeneratorOptions& options) {
   return net;
 }
 
+GeneratorOptions GeneratorOptions::largeNetwork(int inner,
+                                                std::uint32_t seed) {
+  GeneratorOptions options;
+  options.innerBlocks = inner;
+  options.seed = seed;
+  // Denser internal wiring than the Table-2 defaults: fewer 1-input
+  // chains, fewer sensor-fed inputs, and a wider driver window, so
+  // pairing decisions interact across the design instead of decomposing
+  // into independent chains.
+  options.oneInputWeight = 0.35;
+  options.twoInputWeight = 0.52;
+  options.threeInputWeight = 0.13;
+  options.sensorInputProb = 0.20;
+  options.localityWindow = 8.0;
+  return options;
+}
+
 std::vector<Network> randomNetworkCorpus(int count,
                                          const GeneratorOptions& base) {
   std::vector<Network> corpus;

@@ -44,6 +44,14 @@ struct GeneratorOptions {
   /// real eBlock systems grow longer rather than wider, and a constant
   /// window reproduces the paper's Table-2 shrinkage across sizes.
   double localityWindow = 4.0;
+
+  /// Preset for the heuristic partitioners' scaling regime: `inner`
+  /// blocks with a wider locality window and more internal wiring than
+  /// the Table-2 defaults, so bins have real pairing choices and the
+  /// 100+-inner networks the exhaustive search cannot touch still have
+  /// partitioning structure worth finding.  Used by the scaling-curve
+  /// bench (bench_scalability) and the large-network regression tests.
+  static GeneratorOptions largeNetwork(int inner, std::uint32_t seed);
 };
 
 /// Generates a well-formed (validate()-clean) random network with exactly

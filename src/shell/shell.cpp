@@ -26,10 +26,12 @@ constexpr char kHelp[] = R"(commands:
   tick [n]                       advance the timer
   outputs                        print output block values
   probe <block> <var>            read a block variable
-  synth [algo] [ins outs] [thr] [sched] [prune]
+  synth [algo] [ins outs] [thr] [opts...]
                                  run synthesis (default paredown 2 2;
-                                 sched: work-stealing | fixed-split;
-                                 prune: prune | no-prune)
+                                 opts, any order: work-stealing |
+                                 fixed-split; prune | no-prune;
+                                 limit=<seconds> pocket=<blocks>
+                                 rounds=<n>)
   algorithms                     list registered partitioning algorithms
   report                         print the last synthesis report
   use synth|source               choose the network 'sim' runs
@@ -38,6 +40,28 @@ constexpr char kHelp[] = R"(commands:
   help                           this text
   quit                           leave the shell
 )";
+
+/// Strict numeric parse of a keyword value: the whole text must be the
+/// number (so "limit=5x" is an error, not 5).
+bool parseNumber(const std::string& text, double* value) {
+  try {
+    std::size_t pos = 0;
+    *value = std::stod(text, &pos);
+    return !text.empty() && pos == text.size();
+  } catch (...) {
+    return false;
+  }
+}
+
+bool parseNumber(const std::string& text, int* value) {
+  try {
+    std::size_t pos = 0;
+    *value = std::stoi(text, &pos);
+    return !text.empty() && pos == text.size();
+  } catch (...) {
+    return false;
+  }
+}
 
 std::string restOfLine(std::istream& in) {
   std::string rest;
@@ -281,7 +305,7 @@ void Shell::cmdSynth(std::istream& args, std::ostream& out) {
   if (args >> ins) {
     if (!(args >> outs)) {
       out << "usage: synth [algo] [ins outs] [threads] [scheduler] "
-             "[prune|no-prune]\n";
+             "[prune|no-prune] [limit=<s>] [pocket=<k>] [rounds=<n>]\n";
       return;
     }
     options.spec.inputs = ins;
@@ -301,9 +325,11 @@ void Shell::cmdSynth(std::istream& args, std::ostream& out) {
     args.clear();
   }
   // Trailing keywords, in any order, at most one of each: a scheduler
-  // name and a pruning flag.  Anything else is an error -- never a
-  // silent default.
+  // name, a pruning flag, and the heuristic knobs (limit= applies to
+  // every anytime strategy; pocket=/rounds= steer lns).  Anything else
+  // is an error -- never a silent default.
   bool haveScheduler = false, havePruning = false;
+  bool haveLimit = false, havePocket = false, haveRounds = false;
   std::string word;
   while (args >> word) {
     const auto scheduler = partition::parseScheduler(word);
@@ -313,10 +339,35 @@ void Shell::cmdSynth(std::istream& args, std::ostream& out) {
     } else if ((word == "prune" || word == "no-prune") && !havePruning) {
       options.engine.pruningBound = (word == "prune");
       havePruning = true;
+    } else if (word.rfind("limit=", 0) == 0 && !haveLimit) {
+      double seconds = 0.0;
+      if (!parseNumber(word.substr(6), &seconds) || seconds < 0) {
+        out << "error: limit= expects seconds >= 0 (0 = no limit)\n";
+        return;
+      }
+      options.engine.timeLimitSeconds = seconds;
+      haveLimit = true;
+    } else if (word.rfind("pocket=", 0) == 0 && !havePocket) {
+      int pocket = 0;
+      if (!parseNumber(word.substr(7), &pocket) || pocket < 0) {
+        out << "error: pocket= expects a block count >= 0 (0 = auto)\n";
+        return;
+      }
+      options.engine.lnsPocket = pocket;
+      havePocket = true;
+    } else if (word.rfind("rounds=", 0) == 0 && !haveRounds) {
+      int rounds = 0;
+      if (!parseNumber(word.substr(7), &rounds) || rounds < 0) {
+        out << "error: rounds= expects a round count >= 0 (0 = until the "
+               "time limit)\n";
+        return;
+      }
+      options.engine.lnsRounds = rounds;
+      haveRounds = true;
     } else {
       out << "error: unknown synth option '" << word
           << "' (scheduler: work-stealing | fixed-split; pruning: prune | "
-             "no-prune)\n";
+             "no-prune; heuristics: limit=<s> pocket=<k> rounds=<n>)\n";
       return;
     }
   }

@@ -1,0 +1,188 @@
+// Warm-start coupling: a heuristic incumbent seeds the exact searches'
+// shared atomic incumbent.  Contract: the returned optimum is
+// bit-identical to the unseeded search's at every thread count, and the
+// seeded search explores fewer (or equal) nodes -- the heuristic as a
+// pruning accelerator.  Also covers ExhaustiveOptions::nodeBudget, the
+// LNS repair oracle's leash.
+#include <gtest/gtest.h>
+
+#include "designs/library.h"
+#include "partition/engine.h"
+#include "partition/exhaustive.h"
+#include "partition/fm_refine.h"
+#include "partition/greedy_seed.h"
+#include "partition/multitype.h"
+#include "partition/verify.h"
+#include "randgen/generator.h"
+
+namespace eblocks::partition {
+namespace {
+
+Partitioning fmSolution(const PartitionProblem& problem) {
+  return fmRefine(problem, greedySeed(problem).result).result;
+}
+
+void expectSamePartitions(const Partitioning& a, const Partitioning& b) {
+  ASSERT_EQ(a.partitions.size(), b.partitions.size());
+  for (std::size_t i = 0; i < a.partitions.size(); ++i)
+    EXPECT_EQ(a.partitions[i].toVector(), b.partitions[i].toVector());
+}
+
+TEST(WarmStart, BitIdenticalOptimumAcrossThreadCounts) {
+  int tested = 0;
+  for (const auto& entry : designs::designLibrary()) {
+    if (entry.innerBlocks < 8 || entry.innerBlocks > 16) continue;
+    const PartitionProblem problem(entry.network, ProgBlockSpec{});
+
+    ExhaustiveOptions cold;
+    cold.threads = 1;
+    const PartitionRun baseline = exhaustiveSearch(problem, cold);
+    ASSERT_TRUE(baseline.optimal) << entry.name;
+
+    EngineOptions warm;
+    warm.seedFromPareDown = false;
+    warm.initialIncumbent = fmSolution(problem);
+    for (const int threads : {1, 2, 4}) {
+      warm.threads = threads;
+      const PartitionRun run =
+          runPartitioner("exhaustive", problem, warm);
+      EXPECT_TRUE(run.optimal) << entry.name << " threads=" << threads;
+      expectSamePartitions(run.result, baseline.result);
+    }
+    if (++tested == 2) break;  // two Table-1 rows keep the test quick
+  }
+  EXPECT_EQ(tested, 2);
+}
+
+TEST(WarmStart, ExploresFewerOrEqualNodesSerially) {
+  // Contract half: on every tractable Table-1 row the seeded search is
+  // bit-identical and never explores more.  (On these sparse rows the
+  // DFS's join-first child order reaches the optimum on its very first
+  // dive, so the counts are typically *equal* -- the seed cannot beat an
+  // incumbent that is already optimal after one descent.)
+  for (const auto& entry : designs::designLibrary()) {
+    if (entry.innerBlocks > 16) continue;
+    const PartitionProblem problem(entry.network, ProgBlockSpec{});
+
+    ExhaustiveOptions cold;
+    cold.threads = 1;
+    const PartitionRun unseeded = exhaustiveSearch(problem, cold);
+
+    ExhaustiveOptions warm = cold;
+    warm.seed = fmSolution(problem);
+    const PartitionRun seeded = exhaustiveSearch(problem, warm);
+
+    expectSamePartitions(seeded.result, unseeded.result);
+    EXPECT_LE(seeded.explored, unseeded.explored) << entry.name;
+  }
+
+  // Measured half: on dense random designs the first dive is not
+  // optimal, the unseeded incumbent converges gradually, and the warm
+  // bound prunes nodes the cold search pays for.
+  int strictlyFewer = 0;
+  for (const int inner : {12, 14, 16}) {
+    for (const std::uint32_t seed : {1u, 2u, 3u}) {
+      const Network net = randgen::randomNetwork(
+          randgen::GeneratorOptions::largeNetwork(inner, seed));
+      const PartitionProblem problem(net, ProgBlockSpec{});
+
+      ExhaustiveOptions cold;
+      cold.threads = 1;
+      const PartitionRun unseeded = exhaustiveSearch(problem, cold);
+
+      ExhaustiveOptions warm = cold;
+      warm.seed = fmSolution(problem);
+      const PartitionRun seeded = exhaustiveSearch(problem, warm);
+
+      expectSamePartitions(seeded.result, unseeded.result);
+      EXPECT_LE(seeded.explored, unseeded.explored)
+          << "inner=" << inner << " seed=" << seed;
+      if (seeded.explored < unseeded.explored) ++strictlyFewer;
+    }
+  }
+  // The acceptance bar: a measured reduction on at least two designs.
+  EXPECT_GE(strictlyFewer, 2);
+}
+
+TEST(WarmStart, EngineSeedsWithTheCheaperOfPareDownAndIncumbent) {
+  const Network net = designs::byName("Noise At Night Detector");
+  const PartitionProblem problem(net, ProgBlockSpec{});
+
+  // A deliberately lousy incumbent (one pair) must not displace the
+  // PareDown seed: explored counts match the PareDown-seeded search.
+  EngineOptions engine;
+  engine.threads = 1;
+  const PartitionRun pareDownSeeded =
+      runPartitioner("exhaustive", problem, engine);
+
+  Partitioning lousy;
+  const PartitionRun greedy = greedySeed(problem);
+  lousy.partitions.push_back(greedy.result.partitions.front());
+  EngineOptions withLousy = engine;
+  withLousy.initialIncumbent = lousy;
+  const PartitionRun run =
+      runPartitioner("exhaustive", problem, withLousy);
+  EXPECT_EQ(run.explored, pareDownSeeded.explored);
+  expectSamePartitions(run.result, pareDownSeeded.result);
+}
+
+TEST(WarmStart, TypedIncumbentKeepsOptimumAndPrunes) {
+  const ProgCostModel model = ProgCostModel::paperDefault();
+  const Network net = designs::byName("Noise At Night Detector");
+  const int n = static_cast<int>(net.innerBlocks().size());
+
+  EngineOptions cold;
+  cold.threads = 1;
+  cold.seedFromPareDown = false;
+  const TypedPartitionRun baseline =
+      runTypedPartitioner("exhaustive", net, model, cold);
+  ASSERT_TRUE(baseline.optimal);
+
+  EngineOptions warm = cold;
+  warm.initialTypedIncumbent =
+      multiTypeFmRefine(net, model,
+                        multiTypePareDown(net, model).result)
+          .result;
+  const TypedPartitionRun seeded =
+      runTypedPartitioner("exhaustive", net, model, warm);
+  EXPECT_TRUE(seeded.optimal);
+  EXPECT_EQ(seeded.result.totalCost(n, model),
+            baseline.result.totalCost(n, model));
+  EXPECT_LE(seeded.explored, baseline.explored);
+}
+
+TEST(NodeBudget, ClipsTheSearchDeterministically) {
+  const Network net = randgen::randomNetwork(
+      randgen::GeneratorOptions::largeNetwork(40, 11));
+  const PartitionProblem problem(net, ProgBlockSpec{});
+
+  ExhaustiveOptions clipped;
+  clipped.threads = 1;
+  clipped.nodeBudget = 20000;
+  const PartitionRun a = exhaustiveSearch(problem, clipped);
+  EXPECT_TRUE(a.timedOut);
+  EXPECT_FALSE(a.optimal);
+  // The budget is checked every 4096 nodes, so the overshoot is bounded
+  // by one granule.
+  EXPECT_LE(a.explored, clipped.nodeBudget + 0x1000);
+  EXPECT_TRUE(verifyPartitioning(problem, a.result).empty());
+
+  // Serial runs abort at a machine-independent node: bit-repeatable.
+  const PartitionRun b = exhaustiveSearch(problem, clipped);
+  EXPECT_EQ(a.explored, b.explored);
+  expectSamePartitions(a.result, b.result);
+}
+
+TEST(NodeBudget, ZeroMeansUnlimited) {
+  const Network net = designs::figure5();
+  const PartitionProblem problem(net, ProgBlockSpec{});
+  ExhaustiveOptions options;
+  options.threads = 1;
+  options.nodeBudget = 0;
+  const PartitionRun run = exhaustiveSearch(problem, options);
+  EXPECT_TRUE(run.optimal);
+  EXPECT_FALSE(run.timedOut);
+}
+
+}  // namespace
+}  // namespace eblocks::partition

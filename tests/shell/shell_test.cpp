@@ -174,6 +174,51 @@ TEST(Shell, SynthPruningFlagArgument) {
   EXPECT_NE(swapped.find("8 -> 3"), std::string::npos) << swapped;
 }
 
+TEST(Shell, SynthHeuristicKeywordArguments) {
+  Shell shell;
+  exec(shell, "design Podium Timer 3");
+  // The heuristic strategies parse by name and accept the trailing
+  // keywords in any order, mixed with the PR 4 scheduler/pruning words.
+  const std::string fm = exec(shell, "synth fm");
+  EXPECT_NE(fm.find("(fm)"), std::string::npos) << fm;
+  const std::string greedy = exec(shell, "synth greedy 2 2");
+  EXPECT_NE(greedy.find("(greedy)"), std::string::npos) << greedy;
+  const std::string lns =
+      exec(shell, "synth lns limit=5 pocket=4 rounds=6");
+  EXPECT_NE(lns.find("(lns)"), std::string::npos) << lns;
+  const std::string swapped =
+      exec(shell, "synth lns rounds=6 limit=5 pocket=4");
+  EXPECT_NE(swapped.find("(lns)"), std::string::npos) << swapped;
+  const std::string mixed =
+      exec(shell, "synth exhaustive 2 2 2 limit=5 steal prune");
+  EXPECT_NE(mixed.find("8 -> 3"), std::string::npos) << mixed;
+}
+
+TEST(Shell, SynthHeuristicKeywordErrorPaths) {
+  Shell shell;
+  exec(shell, "design Podium Timer 3");
+  // Bad values error out; so do duplicates -- never a silent default.
+  EXPECT_NE(exec(shell, "synth lns limit=abc").find("error: limit="),
+            std::string::npos);
+  EXPECT_NE(exec(shell, "synth lns limit=-1").find("error: limit="),
+            std::string::npos);
+  EXPECT_NE(exec(shell, "synth lns pocket=2x").find("error: pocket="),
+            std::string::npos);
+  EXPECT_NE(exec(shell, "synth lns pocket=-4").find("error: pocket="),
+            std::string::npos);
+  EXPECT_NE(exec(shell, "synth lns rounds=").find("error: rounds="),
+            std::string::npos);
+  EXPECT_NE(exec(shell, "synth lns limit=5 limit=6")
+                .find("error: unknown synth option"),
+            std::string::npos);
+  EXPECT_NE(exec(shell, "synth lns pocket=4 pocket=4")
+                .find("error: unknown synth option"),
+            std::string::npos);
+  // None of the failed parses may have run a synthesis.
+  EXPECT_NE(exec(shell, "report").find("error: no synthesis has run"),
+            std::string::npos);
+}
+
 TEST(Shell, SynthArgumentErrorPaths) {
   Shell shell;
   exec(shell, "design Podium Timer 3");
