@@ -596,11 +596,19 @@ PartitionRun exhaustiveSearch(const PartitionProblem& problem,
   ctx.initialBound = n;
   if (options.seed) {
     const int seedCost = options.seed->totalAfter(n);
-    // Trust but verify: only use a seed that is actually feasible.
+    // Trust but verify: only use a seed that is actually feasible --
+    // every partition valid on its own AND all pairwise disjoint
+    // (overlap would understate totalAfter and over-tighten the bound).
     bool feasible = true;
-    for (const BitSet& p : options.seed->partitions)
+    BitSet seen = problem.network().emptySet();
+    for (const BitSet& p : options.seed->partitions) {
       if (!isValidPartition(problem, p, options.requireConvex))
         feasible = false;
+      p.forEach([&](std::size_t b) {
+        if (seen.test(b)) feasible = false;
+        seen.set(b);
+      });
+    }
     if (feasible && seedCost < n) {
       bestCost = seedCost;
       bestOrdinal = std::numeric_limits<std::uint32_t>::max();

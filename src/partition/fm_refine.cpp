@@ -185,7 +185,9 @@ class Refiner {
     ++probes_;
     src.remove(b);
     const bool srcOk = psize - 1 < 2 || cost_->fitsBin(src.io());
-    const long long newP = cost_->binCost(src.io(), psize - 1);
+    // Cost the shrunk bin only once it has re-proved feasibility: under
+    // the typed model binCost on an infeasible bin has no answer.
+    const long long newP = srcOk ? cost_->binCost(src.io(), psize - 1) : 0;
     src.add(b);
     Move best;
     if (!srcOk) return best;
@@ -196,7 +198,8 @@ class Refiner {
       ++probes_;
       dst.add(b);
       const bool ok = cost_->fitsBin(dst.io());
-      const long long newQ = cost_->binCost(dst.io(), dst.memberCount());
+      const long long newQ =
+          ok ? cost_->binCost(dst.io(), dst.memberCount()) : 0;
       dst.remove(b);
       if (!ok) continue;
       const long long gain = oldP + oldQ - newP - newQ;

@@ -190,9 +190,17 @@ PartitionRun lnsSearch(const PartitionProblem& problem,
     repair.threads = 1;
     repair.nodeBudget = options.repairNodeBudget;
     repair.pruningBound = true;
-    if (deadline != Clock::time_point::max())
-      repair.timeLimitSeconds =
+    if (deadline != Clock::time_point::max()) {
+      const double remaining =
           std::chrono::duration<double>(deadline - Clock::now()).count();
+      if (remaining <= 0) {
+        // The deadline lapsed since the round-start check; a non-positive
+        // limit would mean "unlimited" to the repair search.
+        run.timedOut = true;
+        break;
+      }
+      repair.timeLimitSeconds = remaining;
+    }
     Partitioning seed;
     int pocketBins = 0;
     for (const BitSet& p : run.result.partitions) {

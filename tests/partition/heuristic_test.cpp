@@ -194,6 +194,51 @@ TEST(Heuristics, TypedFmRefinesUnderTheCostModel) {
   }
 }
 
+// Regression: bestMove() must not cost a probed bin that failed its
+// feasibility check -- under the typed model a bin no option fits has no
+// cheapest option to cost (empty-optional dereference).  Dense random
+// networks under the paper's single tight 2x2 option make infeasible
+// probes routine, so any slip here trips the sanitizer jobs.
+TEST(Heuristics, TypedFmSurvivesRoutineInfeasibleProbes) {
+  const ProgCostModel model = ProgCostModel::paperDefault();
+  for (const std::uint32_t seed : {21u, 22u, 23u}) {
+    const Network net = randgen::randomNetwork(
+        randgen::GeneratorOptions::largeNetwork(40, seed));
+    const TypedPartitionRun seeded = multiTypePareDown(net, model);
+    const TypedPartitionRun fm =
+        multiTypeFmRefine(net, model, seeded.result);
+    EXPECT_TRUE(verifyTypedPartitioning(net, model, fm.result).empty())
+        << "seed=" << seed;
+    const int n = static_cast<int>(net.innerBlocks().size());
+    EXPECT_LE(fm.result.totalCost(n, model),
+              seeded.result.totalCost(n, model))
+        << "seed=" << seed;
+  }
+}
+
+// Regression: if the wall-clock deadline lapses between the round-start
+// check and the repair launch, the repair must not inherit a
+// non-positive time limit ("no limit") -- with an uncapped node budget
+// and a full-design pocket that repair would run an unbounded exact
+// search.  The tiny budget makes the lapse routine; the run must still
+// come back promptly, flagged timed-out.
+TEST(Heuristics, LnsHonorsDeadlineLapsingMidRound) {
+  const Network net =
+      randgen::randomNetwork(randgen::GeneratorOptions::largeNetwork(120, 3));
+  const PartitionProblem problem(net, ProgBlockSpec{});
+  const PartitionRun seed = greedySeed(problem);
+  LnsOptions options;
+  options.maxRounds = 0;                      // only the clock stops it
+  options.stallRounds = 0;
+  options.pocketSize = problem.innerCount();  // full-design pocket
+  options.repairNodeBudget = 0;               // uncapped repair
+  options.timeLimitSeconds = 1e-4;
+  const PartitionRun run = lnsSearch(problem, seed.result, options);
+  EXPECT_TRUE(run.timedOut);
+  EXPECT_LE(run.seconds, 5.0);
+  EXPECT_TRUE(verifyPartitioning(problem, run.result).empty());
+}
+
 TEST(Heuristics, TypedFmWithinGapOfTypedExhaustive) {
   const ProgCostModel model = ProgCostModel::paperDefault();
   for (const auto& entry : designs::designLibrary()) {

@@ -126,6 +126,40 @@ TEST(WarmStart, EngineSeedsWithTheCheaperOfPareDownAndIncumbent) {
   expectSamePartitions(run.result, pareDownSeeded.result);
 }
 
+// Regression: a seed whose partitions overlap double-counts
+// coveredBlocks(), so its totalAfter() understates the true cost; a
+// trusted overlapping seed would over-tighten the bound, prune the real
+// optimum, and be returned as "optimal".  The verify block must reject
+// it outright -- the search then matches the unseeded baseline exactly.
+TEST(WarmStart, OverlappingSeedIsRejected) {
+  const Network net = designs::byName("Noise At Night Detector");
+  const PartitionProblem problem(net, ProgBlockSpec{});
+
+  ExhaustiveOptions cold;
+  cold.threads = 1;
+  const PartitionRun baseline = exhaustiveSearch(problem, cold);
+
+  // Copies of one valid partition: each passes isValidPartition on its
+  // own, together they cover the same blocks repeatedly.  Stack enough
+  // that the double-counted cost undercuts the true optimum -- a trusted
+  // seed would then prune every real solution and be returned verbatim.
+  const PartitionRun greedy = greedySeed(problem);
+  ASSERT_FALSE(greedy.result.partitions.empty());
+  const int n = problem.innerCount();
+  Partitioning overlapping;
+  do {
+    overlapping.partitions.push_back(greedy.result.partitions.front());
+  } while (overlapping.totalAfter(n) >= baseline.result.totalAfter(n));
+
+  ExhaustiveOptions warm = cold;
+  warm.seed = overlapping;
+  const PartitionRun run = exhaustiveSearch(problem, warm);
+  EXPECT_TRUE(verifyPartitioning(problem, run.result).empty());
+  EXPECT_TRUE(run.optimal);
+  EXPECT_EQ(run.explored, baseline.explored);
+  expectSamePartitions(run.result, baseline.result);
+}
+
 TEST(WarmStart, TypedIncumbentKeepsOptimumAndPrunes) {
   const ProgCostModel model = ProgCostModel::paperDefault();
   const Network net = designs::byName("Noise At Night Detector");
