@@ -7,6 +7,7 @@
 #
 #   <!-- doc-drift:help -->        the shell's `help` output
 #   <!-- doc-drift:algorithms -->  the shell's `algorithms` output
+#   <!-- doc-drift:cache -->       `cache on` + bare `cache` status output
 #
 # The script replays the command through the shell REPL and diffs the
 # fenced block against the live output; any mismatch fails (non-zero
@@ -55,6 +56,9 @@ check() { # file marker command
 
 check "$root/docs/pipeline.md" help help
 check "$root/docs/partitioning.md" algorithms algorithms
+# The caching guide embeds the `cache` status format (attach, then query
+# an empty in-memory store); live_output feeds both lines to one REPL.
+check "$root/docs/caching.md" cache $'cache on\ncache'
 
 # Beyond the embedded registry dump: every registered strategy name must
 # be discussed in the partitioning guide's prose (as `name`), so adding

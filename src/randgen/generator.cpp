@@ -162,6 +162,26 @@ GeneratorOptions GeneratorOptions::largeNetwork(int inner,
   return options;
 }
 
+Network relabeledCopy(const Network& source, std::uint32_t seed,
+                      const std::string& namePrefix) {
+  std::mt19937 rng(seed);
+  std::vector<BlockId> order(source.blockCount());
+  for (BlockId b = 0; b < source.blockCount(); ++b) order[b] = b;
+  std::shuffle(order.begin(), order.end(), rng);
+
+  Network out(source.name() + "_relabeled");
+  std::vector<BlockId> map(source.blockCount(), kNoBlock);
+  int n = 0;
+  for (const BlockId oldId : order)
+    map[oldId] = out.addBlock(namePrefix + std::to_string(n++),
+                              source.block(oldId).type);
+  // Connection *insertion order* is semantic (simulator activation order,
+  // netlist writer order), so it is carried over unpermuted.
+  for (const Connection& c : source.connections())
+    out.connect(map[c.from.block], c.from.port, map[c.to.block], c.to.port);
+  return out;
+}
+
 std::vector<Network> randomNetworkCorpus(int count,
                                          const GeneratorOptions& base) {
   std::vector<Network> corpus;

@@ -58,6 +58,15 @@ struct GeneratorOptions {
 /// `options.innerBlocks` inner blocks.
 Network randomNetwork(const GeneratorOptions& options);
 
+/// An isomorphic relabeling of `source`: the same blocks (shared type
+/// descriptors) and the same connections in the same insertion order, but
+/// with block declaration order permuted by `seed` and every instance
+/// renamed to `<namePrefix><n>`.  This is exactly the variation the
+/// solution cache's canonical hash must be blind to -- the hash tests and
+/// bench_cache use it to produce "the same design, re-drawn".
+Network relabeledCopy(const Network& source, std::uint32_t seed,
+                      const std::string& namePrefix = "r");
+
 /// Emits a corpus of `count` independent random designs: design i is
 /// randomNetwork with seed `base.seed + i` (other options unchanged).
 /// The verification layer (sim/batch_equivalence.h) consumes these as the

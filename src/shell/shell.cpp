@@ -33,6 +33,9 @@ constexpr char kHelp[] = R"(commands:
                                  limit=<seconds> pocket=<blocks>
                                  rounds=<n>)
   algorithms                     list registered partitioning algorithms
+  cache [on|off|dir=<path>]      solution cache for synth (on = in-memory,
+                                 dir= = persistent on disk, off = detach;
+                                 bare 'cache' prints status and stats)
   report                         print the last synthesis report
   use synth|source               choose the network 'sim' runs
   dot                            print the active network as DOT
@@ -148,6 +151,8 @@ bool Shell::execute(const std::string& line, std::ostream& out) {
       cmdProbe(in, out);
     } else if (cmd == "synth") {
       cmdSynth(in, out);
+    } else if (cmd == "cache") {
+      cmdCache(in, out);
     } else if (cmd == "algorithms") {
       const auto& registry = partition::PartitionerRegistry::instance();
       for (const std::string& name : registry.names())
@@ -371,9 +376,45 @@ void Shell::cmdSynth(std::istream& args, std::ostream& out) {
       return;
     }
   }
+  options.cache = cache_;
   synthResult_ = synth::synthesize(source_, options);
   simulator_.reset();
   out << synthResult_->report();
+}
+
+void Shell::cmdCache(std::istream& args, std::ostream& out) {
+  std::string word;
+  if (!(args >> word) || word == "status") {
+    if (!cache_) {
+      out << "cache: off\n";
+      return;
+    }
+    const cache::StoreStats s = cache_->stats();
+    out << "cache: on ("
+        << (cache_->directory().empty() ? std::string("in-memory")
+                                        : "dir=" + cache_->directory())
+        << ", " << cache_->recordCount() << " records, "
+        << cache_->totalBytes() << " bytes)\n";
+    out << "  hits=" << s.hits << " misses=" << s.misses
+        << " warm-starts=" << s.warmStarts << " inserts=" << s.inserts
+        << " evictions=" << s.evictions << " corrupt=" << s.corrupt << "\n";
+    return;
+  }
+  if (word == "on") {
+    cache_ = std::make_shared<cache::SolutionStore>(cache::StoreOptions{});
+    out << "cache: on (in-memory)\n";
+  } else if (word == "off") {
+    cache_.reset();
+    out << "cache: off\n";
+  } else if (word.rfind("dir=", 0) == 0 && word.size() > 4) {
+    cache::StoreOptions options;
+    options.directory = word.substr(4);
+    cache_ = std::make_shared<cache::SolutionStore>(std::move(options));
+    out << "cache: on (dir=" << cache_->directory() << ", "
+        << cache_->recordCount() << " records)\n";
+  } else {
+    out << "usage: cache [on|off|dir=<path>|status]\n";
+  }
 }
 
 void Shell::cmdUse(std::istream& args, std::ostream& out) {

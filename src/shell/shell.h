@@ -20,6 +20,7 @@
 //   outputs                        print every output block's value
 //   probe <block> <var>            read any block variable
 //   synth [paredown|exhaustive|aggregation] [<ins> <outs>]
+//   cache [on|off|dir=<path>]      solution cache for synth
 //   report                         print the last synthesis report
 //   use synth|source               select which network 'sim' runs
 //   dot                            print the active network as DOT
@@ -69,6 +70,7 @@ class Shell {
   void cmdOutputs(std::ostream& out);
   void cmdProbe(std::istream& args, std::ostream& out);
   void cmdSynth(std::istream& args, std::ostream& out);
+  void cmdCache(std::istream& args, std::ostream& out);
   void cmdUse(std::istream& args, std::ostream& out);
   void cmdEmitC(std::istream& args, std::ostream& out);
 
@@ -77,6 +79,9 @@ class Shell {
 
   Network source_;
   std::optional<synth::SynthResult> synthResult_;
+  /// Solution cache handed to every synth run while enabled (see the
+  /// `cache` command); shared so long-lived stores survive `new`/`design`.
+  std::shared_ptr<cache::SolutionStore> cache_;
   bool useSynth_ = false;
   std::unique_ptr<sim::Simulator> simulator_;
 };

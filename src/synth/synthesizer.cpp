@@ -25,8 +25,39 @@ SynthResult synthesize(const Network& source, const SynthOptions& options) {
   partition::PartitionProblem problem(source, options.spec);
   SynthResult result;
   result.originalInner = problem.innerCount();
-  result.run =
-      partition::runPartitioner(options.algorithm, problem, options.engine);
+
+  // Consult the solution cache (when attached): an exact hit replaces the
+  // partitioner run outright -- the stored result is bit-identical to a
+  // fresh run by the store's contract, and it still passes through the
+  // verification gate below like any other partitioning.  On a miss, a
+  // near-miss record (same structure, compatible constraints) seeds the
+  // engine's warm-start incumbent, a pure pruning accelerator.
+  bool fromCache = false;
+  partition::EngineOptions engine = options.engine;
+  if (options.cache) {
+    if (std::optional<partition::PartitionRun> hit = options.cache->lookup(
+            source, options.algorithm, options.spec, options.engine)) {
+      result.run = std::move(*hit);
+      result.cacheOutcome = CacheOutcome::kHit;
+      fromCache = true;
+    } else {
+      result.cacheOutcome = CacheOutcome::kMiss;
+      if (std::optional<partition::Partitioning> incumbent =
+              options.cache->nearMiss(source, options.spec, options.engine)) {
+        engine.initialIncumbent = std::move(*incumbent);
+        result.cacheOutcome = CacheOutcome::kWarmStart;
+      }
+    }
+  }
+  if (!fromCache) {
+    result.run =
+        partition::runPartitioner(options.algorithm, problem, engine);
+    // Store against the *requested* options: the warm-start incumbent is
+    // not part of the cache key (it cannot change the result).
+    if (options.cache)
+      options.cache->insert(source, options.algorithm, options.spec,
+                            options.engine, result.run);
+  }
 
   {
     const auto violations =
@@ -136,9 +167,21 @@ SynthResult synthesize(const Network& source, const SynthOptions& options) {
   return result;
 }
 
+const char* toString(CacheOutcome o) {
+  switch (o) {
+    case CacheOutcome::kDisabled: return "disabled";
+    case CacheOutcome::kMiss: return "miss";
+    case CacheOutcome::kHit: return "hit";
+    case CacheOutcome::kWarmStart: return "warm-start";
+  }
+  return "?";
+}
+
 std::string SynthResult::report() const {
   std::string s;
   s += "Synthesis report (" + run.algorithm + ")\n";
+  if (cacheOutcome != CacheOutcome::kDisabled)
+    s += "  cache: " + std::string(toString(cacheOutcome)) + "\n";
   s += "  inner blocks: " + std::to_string(originalInner) + " -> " +
        std::to_string(innerAfter) + " (" +
        std::to_string(programmableBlocks) + " programmable)\n";

@@ -9,12 +9,23 @@
 #include <string>
 #include <vector>
 
+#include "cache/solution_store.h"
 #include "codegen/merge_program.h"
 #include "partition/engine.h"
 #include "partition/problem.h"
 #include "partition/result.h"
 
 namespace eblocks::synth {
+
+/// How the solution cache participated in a synthesis run.
+enum class CacheOutcome {
+  kDisabled,   ///< no cache attached
+  kMiss,       ///< cache consulted, partitioner ran cold, result stored
+  kHit,        ///< stored run returned; the partitioner never ran
+  kWarmStart,  ///< near-miss incumbent accelerated the partitioner
+};
+
+const char* toString(CacheOutcome o);
 
 struct SynthOptions {
   partition::ProgBlockSpec spec;  ///< target programmable block
@@ -29,6 +40,13 @@ struct SynthOptions {
   /// from the heuristic's solution).
   partition::EngineOptions engine;
   bool emitC = true;  ///< produce C sources per block
+  /// Optional solution cache.  When attached, synthesize() asks it for a
+  /// stored run first (an exact hit skips the partitioner entirely; the
+  /// result is still verified and is bit-identical to a fresh run), seeds
+  /// the engine's initialIncumbent from a near miss on a miss, and stores
+  /// completed cacheable runs afterwards.  Shared so the shell, tests,
+  /// and benches can hold one store across many synthesize() calls.
+  std::shared_ptr<cache::SolutionStore> cache;
 };
 
 /// One synthesized programmable block.
@@ -48,6 +66,8 @@ struct SynthResult {
   int originalInner = 0;
   int innerAfter = 0;              ///< Table "Inner Blocks (Total)"
   int programmableBlocks = 0;      ///< Table "Inner Blocks (Prog.)"
+  /// What the solution cache did for this run (kDisabled without one).
+  CacheOutcome cacheOutcome = CacheOutcome::kDisabled;
 
   /// Human-readable synthesis report.
   std::string report() const;
