@@ -8,17 +8,22 @@
 #   <!-- doc-drift:help -->        the shell's `help` output
 #   <!-- doc-drift:algorithms -->  the shell's `algorithms` output
 #   <!-- doc-drift:cache -->       `cache on` + bare `cache` status output
+#   <!-- doc-drift:server -->      `eblocksd --help` (docs/server.md)
 #
-# The script replays the command through the shell REPL and diffs the
-# fenced block against the live output; any mismatch fails (non-zero
-# exit), so renaming a command, adding an algorithm, or editing a
-# description without updating the docs breaks CI.
+# The script replays the command through the shell REPL (or runs the
+# daemon binary) and diffs the fenced block against the live output; any
+# mismatch fails (non-zero exit), so renaming a command, adding an
+# algorithm, or editing a description without updating the docs breaks
+# CI.
 #
-# Usage: scripts/check_doc_drift.sh <path-to-example_shell_repl> [repo-root]
+# Usage: scripts/check_doc_drift.sh <path-to-example_shell_repl> \
+#            [repo-root] [path-to-eblocksd]
 set -euo pipefail
 
-repl=${1:?usage: check_doc_drift.sh <example_shell_repl> [repo-root]}
+repl=${1:?usage: check_doc_drift.sh <example_shell_repl> [repo-root] [eblocksd]}
 root=${2:-$(cd "$(dirname "$0")/.." && pwd)}
+# The daemon usually sits next to the examples in the same build tree.
+eblocksd=${3:-$(dirname "$repl")/../src/eblocksd}
 
 if [[ ! -x "$repl" ]]; then
   echo "doc-drift: shell binary '$repl' not found or not executable" >&2
@@ -59,6 +64,21 @@ check "$root/docs/partitioning.md" algorithms algorithms
 # The caching guide embeds the `cache` status format (attach, then query
 # an empty in-memory store); live_output feeds both lines to one REPL.
 check "$root/docs/caching.md" cache $'cache on\ncache'
+
+# The server handbook embeds the daemon's usage text, diffed against the
+# binary itself rather than the REPL.
+if [[ ! -x "$eblocksd" ]]; then
+  echo "doc-drift: daemon binary '$eblocksd' not found or not executable" >&2
+  fail=1
+elif ! grep -q "<!-- doc-drift:server -->" "$root/docs/server.md"; then
+  echo "doc-drift: marker 'server' missing from $root/docs/server.md" >&2
+  fail=1
+elif ! diff -u --label "docs/server.md (server)" \
+    --label "eblocksd --help output" \
+    <(doc_block "$root/docs/server.md" server) <("$eblocksd" --help); then
+  echo "doc-drift: docs/server.md block 'server' is stale" >&2
+  fail=1
+fi
 
 # Beyond the embedded registry dump: every registered strategy name must
 # be discussed in the partitioning guide's prose (as `name`), so adding

@@ -64,11 +64,19 @@ inline constexpr std::uint32_t kBinaryMagic = 0x4B4C4245u;  // "EBLK"
 inline constexpr std::uint16_t kBinaryVersion = 1;
 inline constexpr std::uint16_t kBinaryMinVersion = 1;
 
-/// What a frame's payload encodes.
+/// What a frame's payload encodes.  Tags 4-8 are the synthesis daemon's
+/// wire messages (src/server/protocol.h encodes and decodes them; the
+/// frame discipline -- magic, version window, length, checksum -- is
+/// identical to the disk formats').
 enum class SectionTag : std::uint8_t {
   kNetwork = 1,       ///< a Network (writeNetworkBinary)
   kPartitionRun = 2,  ///< a partition::PartitionRun (writePartitionRunBinary)
   kSolutionRecord = 3,  ///< a solution-cache record (cache/solution_store)
+  kServerRequest = 4,   ///< client -> server: a synthesis request
+  kServerResponse = 5,  ///< server -> client: a completed synthesis
+  kServerProgress = 6,  ///< server -> client: a streamed progress tick
+  kServerError = 7,     ///< server -> client: a protocol or job error
+  kServerCancel = 8,    ///< client -> server: cancel a pending request
 };
 
 // --- the frame primitives (shared with cache/solution_store) -----------

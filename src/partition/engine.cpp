@@ -55,6 +55,8 @@ class ExhaustiveStrategy final : public Partitioner {
     ex.threads = options.threads;
     ex.scheduler = options.scheduler;
     ex.pruningBound = options.pruningBound;
+    ex.cancel = options.cancel;
+    ex.progressNodes = options.progressNodes;
     // Warm start: seed the incumbent with the cheapest known solution.
     // Both sources are pure accelerators (trust-but-verify inside the
     // search), so taking the cheaper one never changes the optimum.
@@ -116,6 +118,8 @@ class LnsStrategy final : public Partitioner {
     lns.maxRounds = options.lnsRounds;
     lns.repairNodeBudget = options.lnsRepairNodes;
     lns.rngSeed = options.rngSeed;
+    lns.cancel = options.cancel;
+    lns.progressNodes = options.progressNodes;
     PartitionRun out = lnsSearch(problem, refined.result, lns);
     out.explored += seed.explored + refined.explored;
     out.seconds += seed.seconds + refined.seconds;

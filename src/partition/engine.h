@@ -19,6 +19,7 @@
 #ifndef EBLOCKS_PARTITION_ENGINE_H_
 #define EBLOCKS_PARTITION_ENGINE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -75,6 +76,19 @@ struct EngineOptions {
   std::uint64_t lnsRepairNodes = 200000;
   /// Seed for randomized strategies (`lns`'s destroy step).
   std::uint32_t rngSeed = 1;
+  /// Cooperative cancellation, riding the searches' timeout plumbing
+  /// (ExhaustiveOptions::cancel / LnsOptions::cancel): when non-null and
+  /// set, the anytime strategies (`exhaustive`, `lns`) stop at their next
+  /// periodic check and return the best solution so far with
+  /// run.timedOut = true.  The fast constructive strategies (paredown,
+  /// aggregation, greedy, fm) finish in milliseconds and ignore it.  The
+  /// synthesis daemon (src/server) flips this when a client cancels or
+  /// disconnects.
+  const std::atomic<bool>* cancel = nullptr;
+  /// Live search-effort telemetry (ExhaustiveOptions::progressNodes):
+  /// the anytime strategies add explored nodes in 4096-node granules;
+  /// the daemon's progress ticks read it.
+  std::atomic<std::uint64_t>* progressNodes = nullptr;
 };
 
 /// A partitioning strategy for the plain (single block type) problem.

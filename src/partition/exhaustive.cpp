@@ -274,9 +274,14 @@ class Worker {
   bool timeExpired() {
     if (aborted_) return true;
     if ((explored_ & 0xfff) == 0) {
+      if (ctx_.options.progressNodes)
+        ctx_.options.progressNodes->fetch_add(0x1000,
+                                              std::memory_order_relaxed);
       if (shared_.timedOut.load(std::memory_order_relaxed)) {
         aborted_ = true;
-      } else if (Clock::now() > ctx_.deadline) {
+      } else if (Clock::now() > ctx_.deadline ||
+                 (ctx_.options.cancel &&
+                  ctx_.options.cancel->load(std::memory_order_relaxed))) {
         shared_.timedOut.store(true, std::memory_order_relaxed);
         aborted_ = true;
       } else if (ctx_.options.nodeBudget != 0 &&

@@ -41,6 +41,7 @@
 #ifndef EBLOCKS_PARTITION_EXHAUSTIVE_H_
 #define EBLOCKS_PARTITION_EXHAUSTIVE_H_
 
+#include <atomic>
 #include <optional>
 
 #include "partition/problem.h"
@@ -87,6 +88,19 @@ struct ExhaustiveOptions {
   /// Off exists for measurement (bench_exhaustive_blowup ablates it) and
   /// as the equivalence-test baseline.
   bool pruningBound = true;
+  /// Cooperative cancellation: when non-null and set, the search stops at
+  /// its next periodic check -- the same 4096-node cadence as the wall
+  /// clock -- and returns the best solution so far with
+  /// run.timedOut = true, exactly as if the time limit had expired.  The
+  /// flag is owned by the caller (the synthesis daemon flips it when a
+  /// client cancels or disconnects) and is only ever read here.
+  const std::atomic<bool>* cancel = nullptr;
+  /// Live search-effort telemetry: when non-null, workers add their
+  /// explored nodes to this counter in the same 4096-node granules as
+  /// the budget accounting, so an observer (the daemon's progress ticks)
+  /// can read approximate progress without touching the search.  The
+  /// counter is add-only here; the caller zeroes it.
+  std::atomic<std::uint64_t>* progressNodes = nullptr;
 };
 
 /// Runs the exhaustive search.  `run.optimal` is true iff the search

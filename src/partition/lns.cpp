@@ -110,7 +110,9 @@ PartitionRun lnsSearch(const PartitionProblem& problem,
   BitSet inPocket(net.blockCount());
   for (int round = 0; options.maxRounds == 0 || round < options.maxRounds;
        ++round) {
-    if (Clock::now() > deadline) {
+    if (Clock::now() > deadline ||
+        (options.cancel &&
+         options.cancel->load(std::memory_order_relaxed))) {
       run.timedOut = true;
       break;
     }
@@ -190,6 +192,8 @@ PartitionRun lnsSearch(const PartitionProblem& problem,
     repair.threads = 1;
     repair.nodeBudget = options.repairNodeBudget;
     repair.pruningBound = true;
+    repair.cancel = options.cancel;
+    repair.progressNodes = options.progressNodes;
     if (deadline != Clock::time_point::max()) {
       const double remaining =
           std::chrono::duration<double>(deadline - Clock::now()).count();

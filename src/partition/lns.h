@@ -39,6 +39,7 @@
 #ifndef EBLOCKS_PARTITION_LNS_H_
 #define EBLOCKS_PARTITION_LNS_H_
 
+#include <atomic>
 #include <cstdint>
 
 #include "partition/problem.h"
@@ -63,6 +64,15 @@ struct LnsOptions {
   std::uint64_t repairNodeBudget = 200000;
   /// Seed of the destroy RNG.
   std::uint32_t rngSeed = 1;
+  /// Cooperative cancellation (ExhaustiveOptions::cancel): checked at
+  /// every round boundary and forwarded into each repair search, so a
+  /// cancelled run stops within one repair granule and returns the best
+  /// solution so far with run.timedOut = true.
+  const std::atomic<bool>* cancel = nullptr;
+  /// Live telemetry (ExhaustiveOptions::progressNodes): forwarded into
+  /// the repair searches, which add their explored nodes in 4096-node
+  /// granules.
+  std::atomic<std::uint64_t>* progressNodes = nullptr;
 };
 
 /// Runs the search from `initial` (which must be verifyPartitioning-

@@ -1,0 +1,211 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+namespace eblocks::server {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+void setError(std::string* error, const std::string& what) {
+  if (error) *error = what;
+}
+
+}  // namespace
+
+Client::~Client() { close(); }
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  inbox_.clear();
+}
+
+bool Client::connectTo(const std::string& host, int port, std::string* error) {
+  close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    setError(error, std::string("socket: ") + std::strerror(errno));
+    return false;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    setError(error, "invalid address '" + host + "'");
+    close();
+    return false;
+  }
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    setError(error, "connect " + host + ":" + std::to_string(port) + ": " +
+                        std::strerror(errno));
+    close();
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return true;
+}
+
+bool Client::sendFrame(std::string_view frame, std::string* error) {
+  if (fd_ < 0) {
+    setError(error, "not connected");
+    return false;
+  }
+  std::size_t sent = 0;
+  while (sent < frame.size()) {
+    const ssize_t n = ::send(fd_, frame.data() + sent, frame.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      setError(error, std::string("send: ") + std::strerror(errno));
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::optional<std::string> Client::nextFrame(int timeoutMs,
+                                             std::string* error) {
+  if (fd_ < 0) {
+    setError(error, "not connected");
+    return std::nullopt;
+  }
+  const auto deadline =
+      timeoutMs > 0 ? std::optional<Clock::time_point>(
+                          Clock::now() + std::chrono::milliseconds(timeoutMs))
+                    : std::nullopt;
+  for (;;) {
+    // A complete frame already buffered?
+    const std::optional<FrameHeader> header = peekFrameHeader(inbox_);
+    if (header) {
+      const std::size_t total = frameSize(*header);
+      if (inbox_.size() >= total) {
+        std::string frame = inbox_.substr(0, total);
+        inbox_.erase(0, total);
+        return frame;
+      }
+    }
+    int waitMs = -1;
+    if (deadline) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                            *deadline - Clock::now())
+                            .count();
+      if (left <= 0) {
+        setError(error, "timeout");
+        return std::nullopt;
+      }
+      waitMs = static_cast<int>(left);
+    }
+    pollfd pfd{fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, waitMs);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      setError(error, std::string("poll: ") + std::strerror(errno));
+      return std::nullopt;
+    }
+    if (ready == 0) {
+      setError(error, "timeout");
+      return std::nullopt;
+    }
+    char buf[65536];
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n == 0) {
+      setError(error, "connection closed by server");
+      close();
+      return std::nullopt;
+    }
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      setError(error, std::string("recv: ") + std::strerror(errno));
+      close();
+      return std::nullopt;
+    }
+    inbox_.append(buf, static_cast<std::size_t>(n));
+  }
+}
+
+std::optional<ServerMessage> Client::nextMessage(int timeoutMs,
+                                                 std::string* error) {
+  const std::optional<std::string> frame = nextFrame(timeoutMs, error);
+  if (!frame) return std::nullopt;
+  const FrameHeader header = *peekFrameHeader(*frame);
+  ServerMessage msg;
+  switch (header.tag) {
+    case io::SectionTag::kServerResponse:
+      msg.kind = ServerMessage::Kind::kResponse;
+      msg.response = decodeResponse(*frame);
+      return msg;
+    case io::SectionTag::kServerProgress:
+      msg.kind = ServerMessage::Kind::kProgress;
+      msg.progress = decodeProgress(*frame);
+      return msg;
+    case io::SectionTag::kServerError:
+      msg.kind = ServerMessage::Kind::kError;
+      msg.error = decodeError(*frame);
+      return msg;
+    default:
+      throw ProtocolError("protocol: unexpected frame tag " +
+                          std::to_string(static_cast<int>(header.tag)) +
+                          " from server");
+  }
+}
+
+CallResult Client::call(const SynthRequest& request, int timeoutMs) {
+  CallResult result;
+  if (!sendFrame(encodeRequest(request))) return result;
+  const auto deadline =
+      timeoutMs > 0 ? std::optional<Clock::time_point>(
+                          Clock::now() + std::chrono::milliseconds(timeoutMs))
+                    : std::nullopt;
+  for (;;) {
+    int waitMs = 0;
+    if (deadline) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                            *deadline - Clock::now())
+                            .count();
+      if (left <= 0) return result;
+      waitMs = static_cast<int>(left);
+    }
+    const std::optional<ServerMessage> msg = nextMessage(waitMs);
+    if (!msg) return result;  // timeout or connection loss
+    switch (msg->kind) {
+      case ServerMessage::Kind::kResponse:
+        if (msg->response.id != request.id) continue;
+        result.response = msg->response;
+        return result;
+      case ServerMessage::Kind::kProgress:
+        if (msg->progress.id == request.id)
+          result.progress.push_back(msg->progress);
+        continue;
+      case ServerMessage::Kind::kError:
+        // id 0 errors (unattributable, e.g. bad frame) end the call too:
+        // the server is about to close the connection.
+        if (msg->error.id != request.id && msg->error.id != 0) continue;
+        result.error = msg->error;
+        return result;
+    }
+  }
+}
+
+bool Client::cancelRequest(std::uint64_t id) {
+  CancelRequest cancel;
+  cancel.id = id;
+  return sendFrame(encodeCancel(cancel));
+}
+
+}  // namespace eblocks::server

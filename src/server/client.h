@@ -1,0 +1,85 @@
+// A small blocking client for the eblocksd wire protocol -- the
+// reference implementation of the client side of docs/server.md, used
+// by the tests, by bench_load, and as the starting point for real
+// integrations.  One Client is one connection; it is not thread-safe
+// (use one per thread, the way bench_load's load generators do).
+//
+// Two levels:
+//   - frame level: sendFrame() / nextFrame() move whole validated-length
+//     frames, with the same 16-byte-header reassembly the server uses;
+//   - call level: call() submits a request and blocks until its
+//     response or error arrives, collecting any progress ticks that
+//     stream in between.
+#ifndef EBLOCKS_SERVER_CLIENT_H_
+#define EBLOCKS_SERVER_CLIENT_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "server/protocol.h"
+
+namespace eblocks::server {
+
+/// One decoded server-to-client frame.
+struct ServerMessage {
+  enum class Kind { kResponse, kProgress, kError };
+  Kind kind = Kind::kError;
+  SynthResponse response;  ///< valid when kind == kResponse
+  Progress progress;       ///< valid when kind == kProgress
+  ErrorReply error;        ///< valid when kind == kError
+};
+
+/// The outcome of one request: exactly one of `response` / `error` is
+/// set (per the protocol's one-reply contract), plus any progress ticks
+/// observed while waiting.  Neither set = timeout or connection loss.
+struct CallResult {
+  std::optional<SynthResponse> response;
+  std::optional<ErrorReply> error;
+  std::vector<Progress> progress;
+
+  bool ok() const { return response.has_value(); }
+};
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  bool connectTo(const std::string& host, int port,
+                 std::string* error = nullptr);
+  void close();
+  bool connected() const { return fd_ >= 0; }
+
+  /// Writes a complete frame (blocking until fully sent).
+  bool sendFrame(std::string_view frame, std::string* error = nullptr);
+
+  /// Reads the next complete frame.  timeoutMs 0 waits forever.
+  /// nullopt on timeout, EOF, or socket error (`error` says which).
+  std::optional<std::string> nextFrame(int timeoutMs,
+                                       std::string* error = nullptr);
+
+  /// nextFrame + tag dispatch + payload decode.  Throws ProtocolError
+  /// on a frame that decodes to no known server message.
+  std::optional<ServerMessage> nextMessage(int timeoutMs,
+                                           std::string* error = nullptr);
+
+  /// Submits `request` and blocks until its reply (response or error)
+  /// arrives or timeoutMs lapses.  Progress ticks for the request are
+  /// collected; replies to *other* ids on this connection are ignored.
+  CallResult call(const SynthRequest& request, int timeoutMs = 0);
+
+  /// Sends a cancel for an in-flight request id (fire and forget; the
+  /// reply arrives through the normal message stream).
+  bool cancelRequest(std::uint64_t id);
+
+ private:
+  int fd_ = -1;
+  std::string inbox_;  ///< bytes received but not yet framed
+};
+
+}  // namespace eblocks::server
+
+#endif  // EBLOCKS_SERVER_CLIENT_H_

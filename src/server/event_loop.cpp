@@ -1,0 +1,301 @@
+#include "server/event_loop.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include "server/protocol.h"
+
+namespace eblocks::server {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+bool setNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+}  // namespace
+
+EventLoop::EventLoop() {
+  int fds[2] = {-1, -1};
+  if (::pipe(fds) == 0) {
+    wakeRead_ = fds[0];
+    wakeWrite_ = fds[1];
+    setNonBlocking(wakeRead_);
+    setNonBlocking(wakeWrite_);
+  }
+}
+
+EventLoop::~EventLoop() {
+  for (auto& [id, conn] : conns_)
+    if (conn.fd >= 0) ::close(conn.fd);
+  conns_.clear();
+  if (listenFd_ >= 0) ::close(listenFd_);
+  if (wakeRead_ >= 0) ::close(wakeRead_);
+  if (wakeWrite_ >= 0) ::close(wakeWrite_);
+}
+
+bool EventLoop::listenOn(const std::string& host, int port,
+                         std::string* error) {
+  const auto fail = [&](const std::string& what) {
+    if (error) *error = what + ": " + std::strerror(errno);
+    if (listenFd_ >= 0) {
+      ::close(listenFd_);
+      listenFd_ = -1;
+    }
+    return false;
+  };
+  listenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listenFd_ < 0) return fail("socket");
+  const int one = 1;
+  ::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    if (error) *error = "invalid listen address '" + host + "'";
+    ::close(listenFd_);
+    listenFd_ = -1;
+    return false;
+  }
+  if (::bind(listenFd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0)
+    return fail("bind " + host + ":" + std::to_string(port));
+  if (::listen(listenFd_, 128) != 0) return fail("listen");
+  if (!setNonBlocking(listenFd_)) return fail("fcntl");
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listenFd_, reinterpret_cast<sockaddr*>(&bound), &len) != 0)
+    return fail("getsockname");
+  port_ = static_cast<int>(ntohs(bound.sin_port));
+  return true;
+}
+
+void EventLoop::post(std::function<void()> fn) {
+  {
+    const std::lock_guard<std::mutex> lock(postedMutex_);
+    posted_.push_back(std::move(fn));
+  }
+  // A full pipe means wake bytes are already pending, so the loop is
+  // guaranteed to wake and drain the queue; EAGAIN is therefore benign.
+  const char byte = 'w';
+  [[maybe_unused]] const ssize_t n = ::write(wakeWrite_, &byte, 1);
+}
+
+void EventLoop::requestStop() { stopping_ = true; }
+
+void EventLoop::closeListener() {
+  if (listenFd_ >= 0) {
+    ::close(listenFd_);
+    listenFd_ = -1;
+  }
+}
+
+void EventLoop::send(std::uint64_t conn, std::string bytes) {
+  const auto it = conns_.find(conn);
+  if (it == conns_.end()) return;
+  it->second.out.append(bytes);
+  handleWritable(conn);
+}
+
+void EventLoop::closeAfterFlush(std::uint64_t conn) {
+  const auto it = conns_.find(conn);
+  if (it == conns_.end()) return;
+  it->second.closing = true;
+  if (it->second.out.empty()) removeConn(conn, true);
+}
+
+void EventLoop::closeNow(std::uint64_t conn) { removeConn(conn, true); }
+
+void EventLoop::removeConn(std::uint64_t id, bool notify) {
+  const auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  ::close(it->second.fd);
+  conns_.erase(it);
+  if (notify && callbacks_.onClosed) callbacks_.onClosed(id);
+}
+
+void EventLoop::acceptPending() {
+  for (;;) {
+    const int fd = ::accept(listenFd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN / transient error: poll again later
+    }
+    setNonBlocking(fd);
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    Conn conn;
+    conn.fd = fd;
+    const std::uint64_t id = nextConnId_++;
+    conns_.emplace(id, std::move(conn));
+    if (callbacks_.onAccepted) callbacks_.onAccepted(id);
+  }
+}
+
+void EventLoop::handleReadable(std::uint64_t id) {
+  auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  char buf[65536];
+  for (;;) {
+    const ssize_t n = ::recv(it->second.fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      if (!it->second.closing)
+        it->second.in.append(buf, static_cast<std::size_t>(n));
+      if (static_cast<std::size_t>(n) < sizeof(buf)) break;
+      it = conns_.find(id);
+      if (it == conns_.end()) return;
+      continue;
+    }
+    if (n == 0) {  // peer closed
+      removeConn(id, true);
+      return;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    removeConn(id, true);  // hard socket error
+    return;
+  }
+  parseFrames(id);
+}
+
+void EventLoop::parseFrames(std::uint64_t id) {
+  for (;;) {
+    const auto it = conns_.find(id);
+    if (it == conns_.end() || it->second.closing) return;
+    std::optional<FrameHeader> header;
+    try {
+      header = peekFrameHeader(it->second.in);
+    } catch (const ProtocolError& e) {
+      // Stream sync is unrecoverable; the handler decides how to close.
+      if (callbacks_.onProtocolError) callbacks_.onProtocolError(id, e.what());
+      return;
+    }
+    if (!header) return;
+    const std::size_t total = frameSize(*header);
+    if (it->second.in.size() < total) return;
+    std::string frame = it->second.in.substr(0, total);
+    it->second.in.erase(0, total);
+    if (callbacks_.onFrame) callbacks_.onFrame(id, std::move(frame));
+  }
+}
+
+void EventLoop::handleWritable(std::uint64_t id) {
+  const auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  Conn& conn = it->second;
+  while (!conn.out.empty()) {
+    const ssize_t n =
+        ::send(conn.fd, conn.out.data(), conn.out.size(), MSG_NOSIGNAL);
+    if (n > 0) {
+      conn.out.erase(0, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    removeConn(id, true);  // peer gone mid-write
+    return;
+  }
+  if (conn.closing) removeConn(id, true);
+}
+
+void EventLoop::drainPosted() {
+  char buf[256];
+  while (::read(wakeRead_, buf, sizeof(buf)) > 0) {
+  }
+  std::vector<std::function<void()>> batch;
+  {
+    const std::lock_guard<std::mutex> lock(postedMutex_);
+    batch.swap(posted_);
+  }
+  for (auto& fn : batch) fn();
+}
+
+void EventLoop::run() {
+  auto nextTick = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                     std::chrono::duration<double>(
+                                         tickIntervalSeconds_));
+  std::optional<Clock::time_point> flushDeadline;
+  std::vector<pollfd> fds;
+  std::vector<std::uint64_t> ids;  // ids[i] corresponds to fds[i + fixed]
+  for (;;) {
+    if (stopping_) {
+      if (!flushDeadline)
+        flushDeadline = Clock::now() + std::chrono::seconds(5);
+      // Flush what we can; drop connections that are already drained.
+      for (auto it = conns_.begin(); it != conns_.end();) {
+        const std::uint64_t id = it->first;
+        ++it;
+        const auto cit = conns_.find(id);
+        if (cit != conns_.end() &&
+            (cit->second.out.empty() || Clock::now() > *flushDeadline))
+          removeConn(id, false);
+      }
+      if (conns_.empty()) break;
+    }
+
+    fds.clear();
+    ids.clear();
+    fds.push_back({wakeRead_, POLLIN, 0});
+    const bool pollListen = listenFd_ >= 0 && !stopping_;
+    if (pollListen) fds.push_back({listenFd_, POLLIN, 0});
+    for (const auto& [id, conn] : conns_) {
+      short events = stopping_ ? 0 : POLLIN;
+      if (!conn.out.empty()) events |= POLLOUT;
+      fds.push_back({conn.fd, events, 0});
+      ids.push_back(id);
+    }
+
+    const auto now = Clock::now();
+    int timeoutMs = static_cast<int>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(nextTick - now)
+            .count());
+    if (timeoutMs < 0) timeoutMs = 0;
+    if (timeoutMs > 1000) timeoutMs = 1000;
+
+    const int ready = ::poll(fds.data(), fds.size(), timeoutMs);
+    if (ready < 0 && errno != EINTR) break;  // unrecoverable poll failure
+
+    if (ready > 0) {
+      std::size_t idx = 0;
+      if (fds[idx++].revents & POLLIN) drainPosted();
+      if (pollListen && (fds[idx].revents & POLLIN)) acceptPending();
+      if (pollListen) ++idx;
+      for (std::size_t i = 0; i < ids.size(); ++i) {
+        const short revents = fds[idx + i].revents;
+        if (revents == 0) continue;
+        const std::uint64_t id = ids[i];
+        if (revents & POLLOUT) handleWritable(id);
+        if (conns_.find(id) == conns_.end()) continue;
+        if (revents & (POLLIN | POLLHUP | POLLERR)) handleReadable(id);
+      }
+    } else {
+      // poll woke for the timer (or EINTR); still drain any posts that
+      // raced in, so a post never waits a full tick.
+      drainPosted();
+    }
+
+    if (Clock::now() >= nextTick) {
+      if (callbacks_.onTick && !stopping_) callbacks_.onTick();
+      nextTick = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                    std::chrono::duration<double>(
+                                        tickIntervalSeconds_));
+    }
+  }
+  // Exit leaves no connections behind.
+  while (!conns_.empty()) removeConn(conns_.begin()->first, false);
+}
+
+}  // namespace eblocks::server

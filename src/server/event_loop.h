@@ -1,0 +1,131 @@
+// A poll()-readiness event loop for eblocksd: one thread owns every
+// socket, every connection buffer, and all server state; synthesis
+// executors communicate with it exclusively through post() -- the
+// communicating-sequential-processes discipline (explicit queues between
+// long-lived processes) that keeps the server logic single-threaded and
+// lock-free even though the work it dispatches is heavily parallel.
+//
+// Responsibilities:
+//   - non-blocking accept on one listening TCP socket;
+//   - per-connection read buffers reassembled into complete wire frames
+//     (protocol.h's peekFrameHeader validates the header -- including
+//     the payload-length cap -- before the payload is buffered);
+//   - per-connection write buffers with partial-write continuation
+//     (POLLOUT is only requested while bytes are pending);
+//   - a wake pipe so any thread can post() a closure into the loop;
+//   - a periodic tick for progress streaming;
+//   - graceful shutdown: requestStop() lets pending writes flush (with
+//     a hard deadline) before the loop exits.
+//
+// The loop knows frames, not messages: what a frame *means* is the
+// server's business (server.cpp), wired in through Callbacks.
+#ifndef EBLOCKS_SERVER_EVENT_LOOP_H_
+#define EBLOCKS_SERVER_EVENT_LOOP_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace eblocks::server {
+
+class EventLoop {
+ public:
+  struct Callbacks {
+    /// A complete, length-delimited frame arrived on `conn`.  Header
+    /// pre-validated; payload/checksum not yet.
+    std::function<void(std::uint64_t conn, std::string frame)> onFrame;
+    /// The connection's byte stream can never resync (bad magic,
+    /// oversized length, ...).  The handler typically sends a final
+    /// error frame and calls closeAfterFlush().
+    std::function<void(std::uint64_t conn, const std::string& reason)>
+        onProtocolError;
+    /// A new connection was accepted.
+    std::function<void(std::uint64_t conn)> onAccepted;
+    /// A connection was removed, for any reason (peer EOF, socket
+    /// error, server-initiated close).  Fires exactly once per
+    /// connection.
+    std::function<void(std::uint64_t conn)> onClosed;
+    /// Periodic timer (tickIntervalSeconds).
+    std::function<void()> onTick;
+  };
+
+  EventLoop();
+  ~EventLoop();
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Binds and listens; call before run().  Port 0 picks a free port
+  /// (see port()).  Returns false with a message on failure.
+  bool listenOn(const std::string& host, int port, std::string* error);
+
+  /// The bound port (valid after listenOn succeeded).
+  int port() const { return port_; }
+
+  void setCallbacks(Callbacks callbacks) { callbacks_ = std::move(callbacks); }
+  void setTickInterval(double seconds) { tickIntervalSeconds_ = seconds; }
+
+  /// Runs until requestStop() (posted from any thread) and all write
+  /// buffers have flushed (or the flush deadline lapses).
+  void run();
+
+  /// Enqueues a closure for execution on the loop thread.  Thread-safe;
+  /// the only cross-thread entry point.
+  void post(std::function<void()> fn);
+
+  /// Asks the loop to exit once pending writes are flushed.  Loop
+  /// thread only (post() it from elsewhere).
+  void requestStop();
+
+  /// Stops accepting new connections (the listening socket closes);
+  /// existing connections live on.  Loop thread only.
+  void closeListener();
+
+  // --- connection operations (loop thread only) -------------------------
+
+  /// Queues bytes on a connection and flushes as much as the socket
+  /// accepts now.  No-op on an unknown (already closed) connection.
+  void send(std::uint64_t conn, std::string bytes);
+
+  /// Closes once the write buffer drains; reads are ignored from now on.
+  void closeAfterFlush(std::uint64_t conn);
+
+  /// Closes immediately, discarding any unflushed bytes.
+  void closeNow(std::uint64_t conn);
+
+  std::size_t connectionCount() const { return conns_.size(); }
+
+ private:
+  struct Conn {
+    int fd = -1;
+    std::string in;
+    std::string out;
+    bool closing = false;  ///< close once `out` drains
+  };
+
+  void acceptPending();
+  void handleReadable(std::uint64_t id);
+  void handleWritable(std::uint64_t id);
+  void parseFrames(std::uint64_t id);
+  void removeConn(std::uint64_t id, bool notify);
+  void drainPosted();
+
+  Callbacks callbacks_;
+  int listenFd_ = -1;
+  int port_ = 0;
+  int wakeRead_ = -1;
+  int wakeWrite_ = -1;
+  bool stopping_ = false;
+  double tickIntervalSeconds_ = 0.25;
+  std::uint64_t nextConnId_ = 1;
+  std::map<std::uint64_t, Conn> conns_;
+
+  std::mutex postedMutex_;
+  std::vector<std::function<void()>> posted_;
+};
+
+}  // namespace eblocks::server
+
+#endif  // EBLOCKS_SERVER_EVENT_LOOP_H_

@@ -1,0 +1,37 @@
+#include "server/job_queue.h"
+
+namespace eblocks::server {
+
+bool JobQueue::tryPush(std::shared_ptr<Job> job) {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (closed_ || jobs_.size() >= capacity_) return false;
+    jobs_.push_back(std::move(job));
+  }
+  cv_.notify_one();
+  return true;
+}
+
+std::shared_ptr<Job> JobQueue::pop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return closed_ || !jobs_.empty(); });
+  if (jobs_.empty()) return nullptr;  // closed and drained
+  std::shared_ptr<Job> job = std::move(jobs_.front());
+  jobs_.pop_front();
+  return job;
+}
+
+void JobQueue::close() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+std::size_t JobQueue::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return jobs_.size();
+}
+
+}  // namespace eblocks::server

@@ -1,0 +1,215 @@
+#include "server/protocol.h"
+
+#include <cstring>
+
+namespace eblocks::server {
+
+namespace {
+
+using io::BinaryReader;
+using io::BinaryWriter;
+using io::SectionTag;
+
+/// Every payload decode must consume exactly the payload: trailing bytes
+/// mean a schema mismatch the version window failed to catch, and that
+/// must be an error, not silence.
+void requireEnd(const BinaryReader& r, const char* what) {
+  if (!r.atEnd())
+    throw ProtocolError(std::string("protocol: trailing bytes after ") +
+                        what + " payload");
+}
+
+int checkedInt(std::uint64_t v, const char* what) {
+  // Port budgets and thread counts are small; an absurd value is a
+  // malformed request even though the varint itself decoded.
+  if (v > 1u << 20)
+    throw ProtocolError(std::string("protocol: ") + what +
+                        " value out of range");
+  return static_cast<int>(v);
+}
+
+}  // namespace
+
+const char* toString(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kBadFrame: return "bad-frame";
+    case ErrorCode::kBadRequest: return "bad-request";
+    case ErrorCode::kOverloaded: return "overloaded";
+    case ErrorCode::kCancelled: return "cancelled";
+    case ErrorCode::kSynthFailed: return "synth-failed";
+    case ErrorCode::kShuttingDown: return "shutting-down";
+    case ErrorCode::kUnknownRequest: return "unknown-request";
+    case ErrorCode::kDuplicateRequest: return "duplicate-request";
+  }
+  return "?";
+}
+
+std::optional<FrameHeader> peekFrameHeader(std::string_view buffer) {
+  if (buffer.size() < 16) return std::nullopt;
+  std::uint32_t magic = 0;
+  std::memcpy(&magic, buffer.data(), 4);
+  if (magic != io::kBinaryMagic)
+    throw ProtocolError("protocol: bad magic (not an EBLK frame)");
+  FrameHeader h;
+  h.version =
+      static_cast<std::uint16_t>(static_cast<std::uint8_t>(buffer[4])) |
+      static_cast<std::uint16_t>(static_cast<std::uint8_t>(buffer[5]) << 8);
+  if (h.version < io::kBinaryMinVersion || h.version > io::kBinaryVersion)
+    throw ProtocolError("protocol: unsupported format version " +
+                        std::to_string(h.version));
+  h.tag = static_cast<SectionTag>(static_cast<std::uint8_t>(buffer[6]));
+  if (buffer[7] != 0)
+    throw ProtocolError("protocol: reserved header byte is not zero");
+  std::uint64_t length = 0;
+  for (int i = 0; i < 8; ++i)
+    length |= static_cast<std::uint64_t>(
+                  static_cast<std::uint8_t>(buffer[8 + static_cast<
+                      std::size_t>(i)]))
+              << (8 * i);
+  if (length > kMaxWirePayload)
+    throw ProtocolError("protocol: declared payload of " +
+                        std::to_string(length) + " bytes exceeds the " +
+                        std::to_string(kMaxWirePayload) + "-byte cap");
+  h.payloadLength = length;
+  return h;
+}
+
+std::size_t frameSize(const FrameHeader& header) {
+  return 16 + static_cast<std::size_t>(header.payloadLength) + 8;
+}
+
+// --- request -------------------------------------------------------------
+
+std::string encodeRequest(const SynthRequest& request) {
+  BinaryWriter w;
+  w.varint(request.id);
+  w.str(request.algorithm);
+  w.varint(static_cast<std::uint64_t>(request.inputs));
+  w.varint(static_cast<std::uint64_t>(request.outputs));
+  w.varint(static_cast<std::uint64_t>(request.threads));
+  w.f64(request.timeLimitSeconds);
+  w.u8(static_cast<std::uint8_t>((request.prune ? 1 : 0) |
+                                 (request.useCache ? 2 : 0)));
+  w.str(request.networkFrame);
+  return w.finish(SectionTag::kServerRequest);
+}
+
+SynthRequest decodeRequest(std::string_view frame) {
+  BinaryReader r(frame, SectionTag::kServerRequest);
+  SynthRequest q;
+  q.id = r.varint();
+  q.algorithm = r.str();
+  q.inputs = checkedInt(r.varint(), "inputs");
+  q.outputs = checkedInt(r.varint(), "outputs");
+  q.threads = checkedInt(r.varint(), "threads");
+  q.timeLimitSeconds = r.f64();
+  const std::uint8_t flags = r.u8();
+  if (flags & ~0x3u)
+    throw ProtocolError("protocol: unknown request flag bits set");
+  q.prune = flags & 1;
+  q.useCache = flags & 2;
+  q.networkFrame = std::string(r.str());
+  requireEnd(r, "request");
+  return q;
+}
+
+// --- response ------------------------------------------------------------
+
+std::string encodeResponse(const SynthResponse& response) {
+  BinaryWriter w;
+  w.varint(response.id);
+  w.u8(response.cacheOutcome);
+  w.varint(static_cast<std::uint64_t>(response.originalInner));
+  w.varint(static_cast<std::uint64_t>(response.innerAfter));
+  w.varint(static_cast<std::uint64_t>(response.programmableBlocks));
+  w.f64(response.seconds);
+  w.str(response.networkFrame);
+  w.str(response.runFrame);
+  return w.finish(SectionTag::kServerResponse);
+}
+
+SynthResponse decodeResponse(std::string_view frame) {
+  BinaryReader r(frame, SectionTag::kServerResponse);
+  SynthResponse p;
+  p.id = r.varint();
+  p.cacheOutcome = r.u8();
+  p.originalInner = checkedInt(r.varint(), "originalInner");
+  p.innerAfter = checkedInt(r.varint(), "innerAfter");
+  p.programmableBlocks = checkedInt(r.varint(), "programmableBlocks");
+  p.seconds = r.f64();
+  p.networkFrame = std::string(r.str());
+  p.runFrame = std::string(r.str());
+  requireEnd(r, "response");
+  return p;
+}
+
+// --- progress ------------------------------------------------------------
+
+std::string encodeProgress(const Progress& progress) {
+  BinaryWriter w;
+  w.varint(progress.id);
+  w.u8(static_cast<std::uint8_t>(progress.state));
+  w.varint(progress.queuePosition);
+  w.varint(progress.exploredNodes);
+  w.f64(progress.elapsedSeconds);
+  return w.finish(SectionTag::kServerProgress);
+}
+
+Progress decodeProgress(std::string_view frame) {
+  BinaryReader r(frame, SectionTag::kServerProgress);
+  Progress p;
+  p.id = r.varint();
+  const std::uint8_t state = r.u8();
+  if (state > 1) throw ProtocolError("protocol: unknown progress state");
+  p.state = static_cast<Progress::State>(state);
+  p.queuePosition = r.varint();
+  p.exploredNodes = r.varint();
+  p.elapsedSeconds = r.f64();
+  requireEnd(r, "progress");
+  return p;
+}
+
+// --- error ---------------------------------------------------------------
+
+std::string encodeError(const ErrorReply& error) {
+  BinaryWriter w;
+  w.varint(error.id);
+  w.varint(static_cast<std::uint64_t>(error.code));
+  w.varint(error.retryAfterMs);
+  w.str(error.message);
+  return w.finish(SectionTag::kServerError);
+}
+
+ErrorReply decodeError(std::string_view frame) {
+  BinaryReader r(frame, SectionTag::kServerError);
+  ErrorReply e;
+  e.id = r.varint();
+  const std::uint64_t code = r.varint();
+  if (code < 1 ||
+      code > static_cast<std::uint64_t>(ErrorCode::kDuplicateRequest))
+    throw ProtocolError("protocol: unknown error code " +
+                        std::to_string(code));
+  e.code = static_cast<ErrorCode>(code);
+  e.retryAfterMs = r.varint();
+  e.message = std::string(r.str());
+  requireEnd(r, "error");
+  return e;
+}
+
+// --- cancel --------------------------------------------------------------
+
+std::string encodeCancel(const CancelRequest& cancel) {
+  BinaryWriter w;
+  w.varint(cancel.id);
+  return w.finish(SectionTag::kServerCancel);
+}
+
+CancelRequest decodeCancel(std::string_view frame) {
+  BinaryReader r(frame, SectionTag::kServerCancel);
+  CancelRequest c;
+  c.id = r.varint();
+  requireEnd(r, "cancel");
+  return c;
+}
+
+}  // namespace eblocks::server

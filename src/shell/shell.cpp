@@ -8,6 +8,7 @@
 #include "io/dot.h"
 #include "io/netlist.h"
 #include "partition/engine.h"
+#include "server/server.h"
 
 namespace eblocks::shell {
 
@@ -36,6 +37,10 @@ constexpr char kHelp[] = R"(commands:
   cache [on|off|dir=<path>]      solution cache for synth (on = in-memory,
                                  dir= = persistent on disk, off = detach;
                                  bare 'cache' prints status and stats)
+  serve start|stop|status        synthesis daemon over the wire protocol
+                                 (start opts, any order: addr=<host:port>
+                                 jobs=<n> queue=<n>; shares this shell's
+                                 cache; see docs/server.md)
   report                         print the last synthesis report
   use synth|source               choose the network 'sim' runs
   dot                            print the active network as DOT
@@ -91,6 +96,10 @@ bool parseEndpointRef(const std::string& token, std::string& block,
 }  // namespace
 
 Shell::Shell() : source_("design") {}
+
+Shell::~Shell() {
+  if (server_) server_->stop(/*cancelInFlight=*/true);
+}
 
 const Network& Shell::activeNetwork() const {
   return useSynth_ && synthResult_ ? synthResult_->network : source_;
@@ -153,6 +162,8 @@ bool Shell::execute(const std::string& line, std::ostream& out) {
       cmdSynth(in, out);
     } else if (cmd == "cache") {
       cmdCache(in, out);
+    } else if (cmd == "serve") {
+      cmdServe(in, out);
     } else if (cmd == "algorithms") {
       const auto& registry = partition::PartitionerRegistry::instance();
       for (const std::string& name : registry.names())
@@ -415,6 +426,99 @@ void Shell::cmdCache(std::istream& args, std::ostream& out) {
   } else {
     out << "usage: cache [on|off|dir=<path>|status]\n";
   }
+}
+
+void Shell::cmdServe(std::istream& args, std::ostream& out) {
+  std::string sub;
+  if (!(args >> sub)) sub = "status";
+  if (sub == "status") {
+    if (!server_) {
+      out << "serve: not running\n";
+      return;
+    }
+    const server::ServerStats s = server_->stats();
+    out << "serve: listening on port " << server_->port() << " ("
+        << s.connectionsNow << " connections, " << s.queuedNow << " queued, "
+        << s.runningNow << " running)\n";
+    out << "  accepted=" << s.accepted << " completed=" << s.completed
+        << " overloaded=" << s.rejectedOverload
+        << " cancelled=" << s.cancelled << " failed=" << s.synthFailed
+        << " bad-requests=" << s.badRequests
+        << " bad-frames=" << s.protocolErrors << "\n";
+    return;
+  }
+  if (sub == "stop") {
+    if (!server_) {
+      out << "error: serve: not running\n";
+      return;
+    }
+    server_->stop();
+    const server::ServerStats s = server_->stats();
+    server_.reset();
+    out << "serve: stopped (" << s.completed << " requests served)\n";
+    return;
+  }
+  if (sub != "start") {
+    out << "usage: serve start|stop|status [addr=<host:port>] [jobs=<n>] "
+           "[queue=<n>]\n";
+    return;
+  }
+  if (server_) {
+    out << "error: serve: already running on port " << server_->port()
+        << "\n";
+    return;
+  }
+  server::ServerOptions options;
+  options.store = cache_;  // one store behind the prompt and the wire
+  // Trailing keywords, any order, each at most once -- same discipline
+  // as synth's option tail: anything unknown is an error, never a
+  // silent default.
+  bool haveAddr = false, haveJobs = false, haveQueue = false;
+  std::string word;
+  while (args >> word) {
+    if (word.rfind("addr=", 0) == 0 && !haveAddr) {
+      const std::string addr = word.substr(5);
+      const std::size_t colon = addr.rfind(':');
+      int port = 0;
+      if (colon == std::string::npos || colon == 0 ||
+          !parseNumber(addr.substr(colon + 1), &port) || port < 0 ||
+          port > 65535) {
+        out << "error: addr= expects host:port\n";
+        return;
+      }
+      options.host = addr.substr(0, colon);
+      options.port = port;
+      haveAddr = true;
+    } else if (word.rfind("jobs=", 0) == 0 && !haveJobs) {
+      int jobs = 0;
+      if (!parseNumber(word.substr(5), &jobs) || jobs < 1) {
+        out << "error: jobs= expects an executor count >= 1\n";
+        return;
+      }
+      options.executors = jobs;
+      haveJobs = true;
+    } else if (word.rfind("queue=", 0) == 0 && !haveQueue) {
+      int queue = 0;
+      if (!parseNumber(word.substr(6), &queue) || queue < 1) {
+        out << "error: queue= expects a capacity >= 1\n";
+        return;
+      }
+      options.queueCapacity = static_cast<std::size_t>(queue);
+      haveQueue = true;
+    } else {
+      out << "error: unknown serve option '" << word
+          << "' (addr=<host:port> jobs=<n> queue=<n>)\n";
+      return;
+    }
+  }
+  auto server = std::make_unique<server::Server>(std::move(options));
+  std::string error;
+  if (!server->start(&error)) {
+    out << "error: serve: " << error << "\n";
+    return;
+  }
+  server_ = std::move(server);
+  out << "serve: listening on port " << server_->port() << "\n";
 }
 
 void Shell::cmdUse(std::istream& args, std::ostream& out) {

@@ -21,6 +21,7 @@
 //   probe <block> <var>            read any block variable
 //   synth [paredown|exhaustive|aggregation] [<ins> <outs>]
 //   cache [on|off|dir=<path>]      solution cache for synth
+//   serve start|stop|status        synthesis daemon over the wire protocol
 //   report                         print the last synthesis report
 //   use synth|source               select which network 'sim' runs
 //   dot                            print the active network as DOT
@@ -39,11 +40,16 @@
 #include "sim/simulator.h"
 #include "synth/synthesizer.h"
 
+namespace eblocks::server {
+class Server;
+}
+
 namespace eblocks::shell {
 
 class Shell {
  public:
   Shell();
+  ~Shell();  ///< stops a running `serve` daemon (cancelling its jobs)
 
   /// Executes one command line; output (including error messages) goes to
   /// `out`.  Returns false when the command asks to quit.
@@ -71,6 +77,7 @@ class Shell {
   void cmdProbe(std::istream& args, std::ostream& out);
   void cmdSynth(std::istream& args, std::ostream& out);
   void cmdCache(std::istream& args, std::ostream& out);
+  void cmdServe(std::istream& args, std::ostream& out);
   void cmdUse(std::istream& args, std::ostream& out);
   void cmdEmitC(std::istream& args, std::ostream& out);
 
@@ -82,6 +89,9 @@ class Shell {
   /// Solution cache handed to every synth run while enabled (see the
   /// `cache` command); shared so long-lived stores survive `new`/`design`.
   std::shared_ptr<cache::SolutionStore> cache_;
+  /// In-process eblocksd started by `serve start`; shares cache_ so the
+  /// wire and the prompt hit one solution store.
+  std::unique_ptr<server::Server> server_;
   bool useSynth_ = false;
   std::unique_ptr<sim::Simulator> simulator_;
 };

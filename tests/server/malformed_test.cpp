@@ -1,0 +1,169 @@
+// Adversarial wire-input tests: raw bytes straight at the socket --
+// wrong protocols, hostile length fields, corrupted checksums, unknown
+// tags, truncated frames, drip-fed frames, mid-request disconnects.
+// The contract under attack is always the same: the server answers with
+// a clean kBadFrame (or just drops the connection), never crashes,
+// never wedges a worker, and keeps serving well-formed clients.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "designs/library.h"
+#include "io/binary.h"
+#include "server/client.h"
+#include "server/protocol.h"
+#include "server/server.h"
+#include "server_test_util.h"
+
+namespace eblocks::server {
+namespace {
+
+using namespace std::chrono_literals;
+using testutil::paredownRequest;
+using testutil::quickOptions;
+
+class MalformedInput : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    server_ = std::make_unique<Server>(quickOptions(1, 4));
+    std::string error;
+    ASSERT_TRUE(server_->start(&error)) << error;
+  }
+
+  /// Sends raw bytes and expects the kBadFrame reply followed by the
+  /// server closing the connection.
+  void expectBadFrameAndClose(const std::string& bytes) {
+    Client client;
+    std::string error;
+    ASSERT_TRUE(client.connectTo("127.0.0.1", server_->port(), &error))
+        << error;
+    ASSERT_TRUE(client.sendFrame(bytes, &error)) << error;
+    const auto msg = client.nextMessage(30000, &error);
+    ASSERT_TRUE(msg) << error;
+    ASSERT_EQ(msg->kind, ServerMessage::Kind::kError);
+    EXPECT_EQ(msg->error.code, ErrorCode::kBadFrame);
+    // After the error flushes, the server closes.
+    EXPECT_FALSE(client.nextFrame(30000, &error));
+    EXPECT_EQ(error, "connection closed by server");
+  }
+
+  std::unique_ptr<Server> server_;
+};
+
+TEST_F(MalformedInput, HttpRequestGetsBadFrame) {
+  // The classic wrong-protocol probe: readable ASCII has no EBLK magic.
+  expectBadFrameAndClose("GET / HTTP/1.0\r\nHost: example\r\n\r\n");
+  testutil::expectServerStillServes(*server_, designs::figure5());
+}
+
+TEST_F(MalformedInput, OversizedDeclaredLengthRejectedFromHeaderAlone) {
+  // 16 header bytes claiming a 1 TiB payload: the reject must come from
+  // the header peek, without the server waiting for (or buffering) the
+  // declared bytes.
+  std::string header = encodeCancel(CancelRequest{1}).substr(0, 16);
+  const std::uint64_t huge = 1ull << 40;
+  for (int i = 0; i < 8; ++i)
+    header[8 + i] = static_cast<char>((huge >> (8 * i)) & 0xff);
+  expectBadFrameAndClose(header);
+  testutil::expectServerStillServes(*server_, designs::figure5());
+}
+
+TEST_F(MalformedInput, CorruptedChecksumGetsBadFrame) {
+  std::string frame = encodeRequest(paredownRequest(1, designs::figure5()));
+  frame[frame.size() / 2] =
+      static_cast<char>(frame[frame.size() / 2] ^ 0x10);  // payload bit flip
+  expectBadFrameAndClose(frame);
+  testutil::expectServerStillServes(*server_, designs::figure5());
+}
+
+TEST_F(MalformedInput, BadVersionGetsBadFrame) {
+  std::string frame = encodeCancel(CancelRequest{1});
+  frame[4] = static_cast<char>(0xff);
+  frame[5] = static_cast<char>(0xff);
+  expectBadFrameAndClose(frame);
+  testutil::expectServerStillServes(*server_, designs::figure5());
+}
+
+TEST_F(MalformedInput, DiskFormatTagSentToServerGetsBadFrame) {
+  // A perfectly valid *network* frame is still not a server message.
+  expectBadFrameAndClose(io::writeNetworkBinary(designs::figure5()));
+  testutil::expectServerStillServes(*server_, designs::figure5());
+}
+
+TEST_F(MalformedInput, TruncatedFrameThenDisconnectIsHarmless) {
+  const std::string frame =
+      encodeRequest(paredownRequest(1, designs::figure5()));
+  {
+    Client client;
+    std::string error;
+    ASSERT_TRUE(client.connectTo("127.0.0.1", server_->port(), &error))
+        << error;
+    // Half a frame, then vanish: the server is left holding an
+    // incomplete read buffer it must simply discard.
+    ASSERT_TRUE(client.sendFrame(frame.substr(0, frame.size() / 2), &error))
+        << error;
+    std::this_thread::sleep_for(100ms);
+  }
+  testutil::expectServerStillServes(*server_, designs::figure5());
+}
+
+TEST_F(MalformedInput, DripFedFrameStillAssembles) {
+  // The inverse attack surface: a *valid* frame arriving one fragment
+  // at a time must reassemble and be served normally.
+  Client client;
+  std::string error;
+  ASSERT_TRUE(client.connectTo("127.0.0.1", server_->port(), &error))
+      << error;
+  const Network net = designs::figure5();
+  const SynthRequest request = paredownRequest(1, net);
+  const std::string frame = encodeRequest(request);
+  const std::size_t chunk = frame.size() / 7 + 1;
+  for (std::size_t off = 0; off < frame.size(); off += chunk) {
+    ASSERT_TRUE(
+        client.sendFrame(frame.substr(off, chunk), &error)) << error;
+    std::this_thread::sleep_for(10ms);
+  }
+  for (;;) {
+    const auto msg = client.nextMessage(30000, &error);
+    ASSERT_TRUE(msg) << error;
+    if (msg->kind == ServerMessage::Kind::kProgress) continue;
+    ASSERT_EQ(msg->kind, ServerMessage::Kind::kResponse);
+    testutil::expectBitIdentical(net, request, msg->response);
+    break;
+  }
+}
+
+TEST_F(MalformedInput, GarbageFloodNeverWedgesTheServer) {
+  // Several hostile connections in a row, each a different malformation;
+  // afterwards the server must still serve a clean request with one
+  // executor -- proof no worker thread was wedged or leaked.
+  const std::string valid =
+      encodeRequest(paredownRequest(1, designs::figure5()));
+  const std::string attacks[] = {
+      std::string(64, '\0'),
+      std::string("EBLK"),  // magic alone, then EOF
+      valid.substr(0, 20),
+      [&] {
+        std::string f = valid;
+        f[6] = 100;  // unknown tag byte
+        return f;
+      }(),
+  };
+  for (const std::string& attack : attacks) {
+    Client client;
+    std::string error;
+    ASSERT_TRUE(client.connectTo("127.0.0.1", server_->port(), &error))
+        << error;
+    ASSERT_TRUE(client.sendFrame(attack, &error)) << error;
+    // Whatever the server does (error frame, close, or silent wait for
+    // more bytes), disconnecting must leave it healthy.
+    client.nextFrame(200, &error);
+  }
+  testutil::expectServerStillServes(*server_, designs::figure5());
+  EXPECT_EQ(server_->stats().synthFailed, 0u);
+}
+
+}  // namespace
+}  // namespace eblocks::server

@@ -1,0 +1,121 @@
+// Shared helpers for the server test suite: start a daemon on a free
+// port, build requests from library designs, and compare served results
+// against one-shot synthesize() runs.
+#ifndef EBLOCKS_TESTS_SERVER_SERVER_TEST_UTIL_H_
+#define EBLOCKS_TESTS_SERVER_SERVER_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/network.h"
+#include "io/binary.h"
+#include "randgen/generator.h"
+#include "server/client.h"
+#include "server/protocol.h"
+#include "server/server.h"
+#include "synth/synthesizer.h"
+
+namespace eblocks::server::testutil {
+
+/// A server on a free loopback port, torn down with the fixture.
+inline ServerOptions quickOptions(int executors, std::size_t queueCapacity) {
+  ServerOptions options;
+  options.host = "127.0.0.1";
+  options.port = 0;
+  options.executors = executors;
+  options.queueCapacity = queueCapacity;
+  options.progressIntervalSeconds = 0.05;  // fast ticks for tests
+  options.retryAfterSeconds = 0.05;
+  return options;
+}
+
+/// A deterministic request: serial paredown, pruned, cache off --
+/// bit-identical across runs and machines.
+inline SynthRequest paredownRequest(std::uint64_t id, const Network& net) {
+  SynthRequest request;
+  request.id = id;
+  request.algorithm = "paredown";
+  request.threads = 1;
+  request.useCache = false;
+  request.networkFrame = io::writeNetworkBinary(net);
+  return request;
+}
+
+/// A network hard enough that an unpruned serial exhaustive search
+/// cannot finish within any test-scale time limit (the bench_exhaustive_
+/// blowup regime), making slowRequest's duration the limit itself.
+inline Network hardNetwork() {
+  randgen::GeneratorOptions options;
+  options.innerBlocks = 34;
+  options.seed = 7;
+  return randgen::randomNetwork(options);
+}
+
+/// A controllable-duration request: unpruned exhaustive search on a
+/// hard network runs until the wall-clock limit (returning its best
+/// incumbent with timedOut set), so `seconds` is how long the job
+/// occupies an executor -- and the cancel flag, riding the same
+/// periodic check as the deadline, cuts it short at any moment.
+inline SynthRequest slowRequest(std::uint64_t id, const Network& net,
+                                double seconds) {
+  SynthRequest request = paredownRequest(id, net);
+  request.algorithm = "exhaustive";
+  request.prune = false;
+  request.timeLimitSeconds = seconds;
+  return request;
+}
+
+/// The one-shot synthesize() a served paredownRequest must match.
+inline synth::SynthResult localSynthesize(const Network& net,
+                                          const SynthRequest& request) {
+  synth::SynthOptions options;
+  options.algorithm = request.algorithm;
+  options.spec.inputs = request.inputs;
+  options.spec.outputs = request.outputs;
+  options.engine.threads = request.threads;
+  options.engine.timeLimitSeconds = request.timeLimitSeconds;
+  options.engine.pruningBound = request.prune;
+  options.emitC = false;
+  return synth::synthesize(net, options);
+}
+
+/// A run frame with the wall-clock field zeroed: everything else --
+/// algorithm, partitions, explored/pruned counters, worker stripes --
+/// must match byte for byte between a served and a local run.
+inline std::string runFrameModuloTime(std::string_view runFrame) {
+  partition::PartitionRun run = io::readPartitionRunBinary(runFrame);
+  run.seconds = 0.0;
+  return io::writePartitionRunBinary(run);
+}
+
+/// Asserts a served response is bit-identical (modulo wall time) to the
+/// local pipeline on the same request.
+inline void expectBitIdentical(const Network& net,
+                               const SynthRequest& request,
+                               const SynthResponse& response) {
+  const synth::SynthResult local = localSynthesize(net, request);
+  EXPECT_EQ(response.networkFrame, io::writeNetworkBinary(local.network));
+  EXPECT_EQ(runFrameModuloTime(response.runFrame),
+            runFrameModuloTime(io::writePartitionRunBinary(local.run)));
+  EXPECT_EQ(response.originalInner, local.originalInner);
+  EXPECT_EQ(response.innerAfter, local.innerAfter);
+  EXPECT_EQ(response.programmableBlocks, local.programmableBlocks);
+}
+
+/// End-to-end liveness probe: the server still accepts a connection and
+/// serves a fresh deterministic request correctly.
+inline void expectServerStillServes(const Server& server, const Network& net) {
+  Client client;
+  std::string error;
+  ASSERT_TRUE(client.connectTo("127.0.0.1", server.port(), &error)) << error;
+  const SynthRequest request = paredownRequest(990, net);
+  const CallResult result = client.call(request, /*timeoutMs=*/30000);
+  ASSERT_TRUE(result.ok()) << (result.error ? result.error->message
+                                            : "timeout");
+  expectBitIdentical(net, request, *result.response);
+}
+
+}  // namespace eblocks::server::testutil
+
+#endif  // EBLOCKS_TESTS_SERVER_SERVER_TEST_UTIL_H_
