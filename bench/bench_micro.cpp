@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "bench_json.h"
+#include "core/failpoint.h"
 #include "core/subgraph.h"
 #include "partition/paredown.h"
 #include "partition/port_counter.h"
@@ -177,6 +178,18 @@ BENCHMARK_CAPTURE(BM_PortCounterMoves, signals_fixed, CountingMode::kSignals,
                   true)
     ->Arg(100)->Arg(465);
 
+/// A disarmed failpoint check: one relaxed atomic load and a
+/// predictable branch.  This is the price every syscall-shaped edge in
+/// the cache/io/server pays in production, so it must stay in the
+/// low-nanosecond range.
+void BM_FailpointDisabledCheck(benchmark::State& state) {
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        static_cast<bool>(core::failpoint::check(
+            core::failpoint::name::kCacheFsync)));
+}
+BENCHMARK(BM_FailpointDisabledCheck);
+
 void BM_PareDownEndToEnd(benchmark::State& state) {
   const Network& net = netOf(static_cast<int>(state.range(0)));
   const partition::PartitionProblem problem(net, {});
@@ -253,6 +266,53 @@ bool runMoveWorkload(const char* name, int inner, CountingMode mode,
   return allocs == 0;
 }
 
+/// The zero-overhead-when-disabled guard for the failpoint subsystem
+/// (docs/robustness.md): 2^22 disarmed checks must fire nothing and
+/// allocate nothing, and the per-check cost lands in the JSON record so
+/// compare_bench.py flags a regression if the fast path ever grows a
+/// lock or an allocation.  `pruned` carries fired + allocs (must stay
+/// 0); `cost` is 0 by construction.
+bool runFailpointWorkload(eblocks::bench::BenchJson& json) {
+  constexpr std::uint64_t kChecks = 1u << 22;
+  core::failpoint::clearAll();
+  std::uint64_t fired = 0;
+  // Warm-up pass, then the timed + allocation-counted pass.
+  for (std::uint64_t i = 0; i < kChecks / 16; ++i)
+    if (core::failpoint::check(core::failpoint::name::kCacheFsync)) ++fired;
+  const std::uint64_t allocsBefore =
+      gAllocCount.load(std::memory_order_relaxed);
+  const auto start = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < kChecks; ++i)
+    if (core::failpoint::check(core::failpoint::name::kCacheFsync)) ++fired;
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  const std::uint64_t allocs =
+      gAllocCount.load(std::memory_order_relaxed) - allocsBefore;
+  const double nsPerCheck = seconds / static_cast<double>(kChecks) * 1e9;
+  std::printf("%-28s %8.2f ns/check  (%llu checks, %.4fs, "
+              "%llu fired, %llu allocs)\n",
+              "failpoint/disabled", nsPerCheck,
+              static_cast<unsigned long long>(kChecks), seconds,
+              static_cast<unsigned long long>(fired),
+              static_cast<unsigned long long>(allocs));
+  json.add(eblocks::bench::BenchRecord{
+      .workload = "failpoint/disabled/checks",
+      .deterministic = true,
+      .nodes = kChecks,
+      .nodesUnpruned = 0,
+      .pruned = fired + allocs,  // both must stay 0
+      .seconds = seconds,
+      .cost = 0.0});
+  if (fired != 0 || allocs != 0)
+    std::fprintf(stderr,
+                 "!! failpoint/disabled: %llu fired, %llu allocs on the "
+                 "disarmed check path (expected 0)\n",
+                 static_cast<unsigned long long>(fired),
+                 static_cast<unsigned long long>(allocs));
+  return fired == 0 && allocs == 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -276,6 +336,9 @@ int main(int argc, char** argv) {
                          json) &&
          ok;
   }
+  std::printf("\nFailpoint disarmed-check overhead (must fire nothing, "
+              "allocate nothing):\n");
+  ok = runFailpointWorkload(json) && ok;
   if (!json.write()) ok = false;
   return ok ? 0 : 1;
 }

@@ -9,6 +9,7 @@
 #   <!-- doc-drift:algorithms -->  the shell's `algorithms` output
 #   <!-- doc-drift:cache -->       `cache on` + bare `cache` status output
 #   <!-- doc-drift:server -->      `eblocksd --help` (docs/server.md)
+#   <!-- doc-drift:robustness -->  `eblocksd --failpoints` (docs/robustness.md)
 #
 # The script replays the command through the shell REPL (or runs the
 # daemon binary) and diffs the fenced block against the live output; any
@@ -78,6 +79,22 @@ elif ! diff -u --label "docs/server.md (server)" \
     <(doc_block "$root/docs/server.md" server) <("$eblocksd" --help); then
   echo "doc-drift: docs/server.md block 'server' is stale" >&2
   fail=1
+fi
+
+# The robustness guide embeds the failpoint catalog: the registered
+# sites in the live binary must match the documented list byte for byte,
+# so adding a failure site without cataloguing it breaks CI.
+if [[ -x "$eblocksd" ]]; then
+  if ! grep -q "<!-- doc-drift:robustness -->" "$root/docs/robustness.md"; then
+    echo "doc-drift: marker 'robustness' missing from $root/docs/robustness.md" >&2
+    fail=1
+  elif ! diff -u --label "docs/robustness.md (robustness)" \
+      --label "eblocksd --failpoints output" \
+      <(doc_block "$root/docs/robustness.md" robustness) \
+      <("$eblocksd" --failpoints); then
+    echo "doc-drift: docs/robustness.md block 'robustness' is stale" >&2
+    fail=1
+  fi
 fi
 
 # Beyond the embedded registry dump: every registered strategy name must

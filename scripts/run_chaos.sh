@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# Chaos sweep: drive the randomized failpoint schedules in
+# tests/integration/chaos_test.cpp across many seeds, one process per
+# seed so a crash or hang in one schedule cannot mask the others.
+#
+# Every failing seed is printed at the end; replay one with
+#   EBLOCKS_CHAOS_SEED=<seed> build/tests/integration_tests \
+#       --gtest_filter='Chaos.*'
+#
+# Also smoke-tests the installed daemon's fault-injection surface:
+# `eblocksd --failpoints` must list the catalog, and a daemon started
+# with an EBLOCKS_FAILPOINTS schedule must come up and shut down
+# cleanly on SIGTERM.
+#
+# Usage: scripts/run_chaos.sh <path-to-integration_tests> [seeds] \
+#            [rounds-per-seed] [path-to-eblocksd]
+set -uo pipefail
+
+tests=${1:?usage: run_chaos.sh <integration_tests> [seeds] [rounds] [eblocksd]}
+seeds=${2:-50}
+rounds=${3:-2}
+eblocksd=${4:-$(dirname "$tests")/../src/eblocksd}
+
+if [[ ! -x "$tests" ]]; then
+  echo "chaos: test binary '$tests' not found or not executable" >&2
+  exit 2
+fi
+
+failed=()
+for ((seed = 1; seed <= seeds; ++seed)); do
+  if ! EBLOCKS_CHAOS_SEED=$seed EBLOCKS_CHAOS_ROUNDS=$rounds \
+      timeout 600 "$tests" --gtest_filter='Chaos.*' \
+      --gtest_brief=1 >/dev/null 2>&1; then
+    echo "chaos: seed $seed FAILED" >&2
+    failed+=("$seed")
+  fi
+  if (( seed % 10 == 0 )); then
+    echo "chaos: ${seed}/${seeds} seeds done, ${#failed[@]} failed"
+  fi
+done
+
+# Daemon smoke: the failpoint catalog prints, a bad schedule is refused
+# at startup, and a good schedule still yields a clean SIGTERM exit.
+if [[ -x "$eblocksd" ]]; then
+  if ! "$eblocksd" --failpoints | grep -q '^cache\.fsync'; then
+    echo "chaos: eblocksd --failpoints did not list the catalog" >&2
+    failed+=("daemon-catalog")
+  fi
+  if EBLOCKS_FAILPOINTS='no.such.site=error' "$eblocksd" --addr 127.0.0.1:0 \
+      >/dev/null 2>&1; then
+    echo "chaos: eblocksd accepted an invalid EBLOCKS_FAILPOINTS" >&2
+    failed+=("daemon-bad-schedule")
+  fi
+  EBLOCKS_FAILPOINTS='server.read=partial:8*every-4;cache.fsync=error:eio*once' \
+    "$eblocksd" --addr 127.0.0.1:0 >/dev/null 2>&1 &
+  daemon=$!
+  sleep 1
+  if ! kill -0 "$daemon" 2>/dev/null; then
+    echo "chaos: eblocksd died under a benign schedule" >&2
+    failed+=("daemon-schedule")
+  else
+    kill -TERM "$daemon"
+    if ! wait "$daemon"; then
+      echo "chaos: eblocksd did not exit cleanly on SIGTERM" >&2
+      failed+=("daemon-sigterm")
+    fi
+  fi
+else
+  echo "chaos: skipping daemon smoke ('$eblocksd' not found)"
+fi
+
+if (( ${#failed[@]} > 0 )); then
+  echo "chaos: FAILED seeds/stages: ${failed[*]}" >&2
+  exit 1
+fi
+echo "chaos: all ${seeds} seeds passed"

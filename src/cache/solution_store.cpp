@@ -1,6 +1,10 @@
 #include "cache/solution_store.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
 #include <filesystem>
 #include <fstream>
 #include <limits>
@@ -8,6 +12,7 @@
 #include <system_error>
 #include <utility>
 
+#include "core/failpoint.h"
 #include "io/binary.h"
 #include "partition/verify.h"
 
@@ -34,6 +39,10 @@ bool cacheable(std::string_view algorithm,
   if (run.timedOut) return false;
   if (algorithm == "lns") return engine.lnsRounds > 0;
   if (algorithm == "exhaustive") return run.optimal;
+  // `ladder` is deliberately absent: how deep it descends depends on the
+  // wall clock, so even a completed (optimal) ladder run is only
+  // reproducible on an idle machine.  Ladder requests rely on the
+  // server's idempotency table (server.h) for retry stability instead.
   return algorithm == "paredown" || algorithm == "aggregation" ||
          algorithm == "greedy" || algorithm == "fm";
 }
@@ -155,6 +164,11 @@ struct Record {
 };
 
 Record decodeRecord(std::string_view blob) {
+  namespace fp = core::failpoint;
+  if (const fp::Hit hit = fp::check(fp::name::kCacheRecordDecode)) {
+    if (hit.mode == fp::Mode::kError)
+      throw io::BinaryError("failpoint: injected record decode fault");
+  }
   io::BinaryReader r(blob, io::SectionTag::kSolutionRecord);
   Record rec;
   rec.fields = decodePrefix(r);
@@ -177,7 +191,16 @@ std::string readFile(const fs::path& p) {
   if (!in) return "";
   std::ostringstream ss;
   ss << in.rdbuf();
-  return in ? ss.str() : "";
+  std::string blob = in ? ss.str() : "";
+  namespace fp = core::failpoint;
+  if (const fp::Hit hit = fp::check(fp::name::kCacheRead)) {
+    // A vanished file reads as empty; a truncated one as a prefix.  Both
+    // fail frame validation downstream and degrade to a counted miss.
+    if (hit.mode == fp::Mode::kError) return "";
+    if (hit.mode == fp::Mode::kPartial && blob.size() > hit.arg)
+      blob.resize(static_cast<std::size_t>(hit.arg));
+  }
+  return blob;
 }
 
 }  // namespace
@@ -358,6 +381,93 @@ std::optional<partition::Partitioning> SolutionStore::nearMiss(
   return best;
 }
 
+bool SolutionStore::writeRecordFile(const std::string& keyHex,
+                                    const std::string& blob) {
+  namespace fp = core::failpoint;
+  const fs::path dir(options_.directory);
+  const fs::path tmp =
+      dir / (keyHex + kTmpMarker + std::to_string(++tmpCounter_));
+  const fs::path final = dir / (keyHex + kRecordSuffix);
+
+  const int fd = ::open(tmp.c_str(),
+                        O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) return false;
+
+  // A torn write is the crash-consistency probe: some bytes land, the
+  // writer believes it succeeded, and the damage must be caught by frame
+  // validation at read time -- never served.
+  std::size_t limit = blob.size();
+  bool tearSilently = false;
+  if (const fp::Hit hit = fp::check(fp::name::kCacheTmpTorn);
+      hit.mode == fp::Mode::kPartial && hit.arg < limit) {
+    limit = static_cast<std::size_t>(hit.arg);
+    tearSilently = true;
+  }
+
+  bool ok = true;
+  if (const fp::Hit hit = fp::check(fp::name::kCacheTmpWrite)) {
+    // Simulated ENOSPC / short write: possibly land a prefix, then fail.
+    if (hit.mode == fp::Mode::kPartial && hit.arg < limit)
+      limit = static_cast<std::size_t>(hit.arg);
+    if (hit.mode == fp::Mode::kError || hit.mode == fp::Mode::kPartial) {
+      errno = hit.arg != 0 && hit.mode == fp::Mode::kError
+                  ? static_cast<int>(hit.arg)
+                  : ENOSPC;
+      ok = false;
+    }
+  }
+  std::size_t written = 0;
+  while (ok && written < limit) {
+    const ssize_t n =
+        ::write(fd, blob.data() + written, limit - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ok = false;  // ENOSPC, EIO, ...: nothing retryable about these
+      break;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  // But for the simulated tear, a partial landing is a failed insert.
+  if (ok && !tearSilently && written != blob.size()) ok = false;
+
+  // fsync *before* rename: the rename must never publish a record whose
+  // bytes are still only in the page cache -- a crash after rename but
+  // before writeback would leave a named, torn record for the next open.
+  if (ok) {
+    if (const fp::Hit hit = fp::check(fp::name::kCacheFsync);
+        hit.mode == fp::Mode::kError) {
+      errno = hit.arg != 0 ? static_cast<int>(hit.arg) : EIO;
+      ok = false;
+    } else if (::fsync(fd) != 0) {
+      ok = false;
+    }
+  }
+  if (::close(fd) != 0) ok = false;
+
+  if (ok) {
+    if (const fp::Hit hit = fp::check(fp::name::kCacheRename);
+        hit.mode == fp::Mode::kError) {
+      errno = hit.arg != 0 ? static_cast<int>(hit.arg) : EIO;
+      ok = false;
+    } else if (::rename(tmp.c_str(), final.c_str()) != 0) {
+      ok = false;
+    }
+  }
+  if (!ok) {
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  // Best-effort directory fsync so the rename itself is durable.  A
+  // failure here is not a failed insert: the record is already valid and
+  // visible, the entry is merely not yet crash-durable.
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+  return true;
+}
+
 void SolutionStore::insert(const Network& net, std::string_view algorithm,
                            const partition::ProgBlockSpec& spec,
                            const partition::EngineOptions& engine,
@@ -380,25 +490,12 @@ void SolutionStore::insert(const Network& net, std::string_view algorithm,
     existing->second.lastUse = ++clock_;
     return;
   }
-  if (!options_.directory.empty()) {
-    const fs::path dir(options_.directory);
-    const fs::path tmp =
-        dir / (keyHex + kTmpMarker + std::to_string(++tmpCounter_));
-    {
-      std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-      out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
-      if (!out) {
-        std::error_code ec;
-        fs::remove(tmp, ec);
-        return;
-      }
-    }
-    std::error_code ec;
-    fs::rename(tmp, dir / (keyHex + kRecordSuffix), ec);
-    if (ec) {
-      fs::remove(tmp, ec);
-      return;
-    }
+  if (!options_.directory.empty() && !writeRecordFile(keyHex, blob)) {
+    // Degraded-to-miss: the run is simply not cached.  The tmp file is
+    // already unlinked, so the next indexDirectory() sweep has nothing
+    // to misread.
+    ++stats_.writeFailures;
+    return;
   }
   Entry e;
   e.keyHex = keyHex;

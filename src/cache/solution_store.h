@@ -70,6 +70,11 @@ struct StoreStats {
   std::uint64_t inserts = 0;     ///< records stored
   std::uint64_t evictions = 0;   ///< records removed by the LRU cap
   std::uint64_t corrupt = 0;     ///< records dropped as unreadable
+  /// Inserts abandoned because the disk write failed (ENOSPC, short
+  /// write, fsync or rename failure).  The tmp file is deleted and the
+  /// run is simply not cached -- a degraded-to-miss, never an error the
+  /// caller sees.
+  std::uint64_t writeFailures = 0;
 };
 
 class SolutionStore {
@@ -122,6 +127,9 @@ class SolutionStore {
   std::string pathFor(const std::string& keyHex) const;
   /// Reads and validates a record blob; empty on failure (caller drops).
   std::string loadBlob(const Entry& e) const;
+  /// Durable atomic write: tmp file + fsync + rename.  False on any IO
+  /// failure (the tmp file is unlinked; caller counts a writeFailure).
+  bool writeRecordFile(const std::string& keyHex, const std::string& blob);
   void dropEntry(const std::string& keyHex, bool deleteFile);
   void evictToBudget();
   void indexDirectory();

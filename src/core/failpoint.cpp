@@ -1,0 +1,357 @@
+#include "core/failpoint.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <thread>
+
+namespace eblocks::core::failpoint {
+
+namespace {
+
+// The catalog is the allow-list: set()/install() reject names that are
+// not probed anywhere, so a typo'd schedule fails loudly instead of
+// silently injecting nothing.  Keep descriptions to one line -- they are
+// the `eblocksd --failpoints` output the doc-drift check pins.
+const std::vector<CatalogEntry>& catalogStorage() {
+  static const std::vector<CatalogEntry> entries = {
+      {name::kCacheFsync,
+       "solution store: fsync of the tmp record file fails"},
+      {name::kCacheRead,
+       "solution store: reading a record blob fails (error) or truncates "
+       "(partial)"},
+      {name::kCacheRecordDecode,
+       "solution store: decoding a stored record raises a binary-format "
+       "error"},
+      {name::kCacheRename,
+       "solution store: renaming the tmp record into place fails"},
+      {name::kCacheTmpTorn,
+       "solution store: the tmp record write silently tears to N bytes "
+       "but reports success (crash-consistency probe)"},
+      {name::kCacheTmpWrite,
+       "solution store: writing the tmp record fails (error, default "
+       "ENOSPC) or stops short after N bytes"},
+      {name::kClientConnect, "client: connect() to the daemon fails"},
+      {name::kClientRecv,
+       "client: recv() fails (error), returns at most N bytes (partial), "
+       "or stalls (delay)"},
+      {name::kClientSend,
+       "client: send() fails (error) or accepts at most N bytes (partial)"},
+      {name::kIoReadNetwork,
+       "binary io: reading a network frame raises a binary-format error"},
+      {name::kIoReadRun,
+       "binary io: reading a partition-run frame raises a binary-format "
+       "error"},
+      {name::kServerAccept, "event loop: accept() on the listener fails"},
+      {name::kServerPoll, "event loop: poll() fails (default EINTR)"},
+      {name::kServerRead,
+       "event loop: recv() on a connection fails (error) or returns at "
+       "most N bytes (partial)"},
+      {name::kServerWrite,
+       "event loop: send() on a connection fails (error) or accepts at "
+       "most N bytes (partial)"},
+  };
+  return entries;
+}
+
+struct SiteState {
+  Spec spec;                       // armed configuration (mode kOff = idle)
+  std::uint64_t armedEvals = 0;    // evaluations since this arming
+  std::uint64_t fired = 0;         // fires since this arming
+  std::uint32_t rng = 1;           // kRandom xorshift state
+  SiteStats lifetime;              // survives clear()
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::map<std::string, SiteState, std::less<>> sites;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();
+  return *r;
+}
+
+std::uint32_t xorshift32(std::uint32_t& state) {
+  state ^= state << 13;
+  state ^= state >> 17;
+  state ^= state << 5;
+  return state;
+}
+
+bool validSpec(const Spec& spec) {
+  switch (spec.mode) {
+    case Mode::kOff:
+      break;
+    case Mode::kError:
+      break;
+    case Mode::kPartial:
+      if (spec.arg == 0) return false;  // a 0-byte clamp would stall, not tear
+      break;
+    case Mode::kDelay:
+      if (spec.arg > 60000) return false;  // cap: a schedule typo must not hang
+      break;
+    default:
+      return false;
+  }
+  switch (spec.trigger) {
+    case Trigger::kAlways:
+    case Trigger::kOnce:
+      return true;
+    case Trigger::kTimes:
+    case Trigger::kEveryN:
+      return spec.n >= 1;
+    case Trigger::kRandom:
+      return spec.n >= 1 && spec.n <= 100;
+  }
+  return false;
+}
+
+bool parseUint(std::string_view text, std::uint64_t* out) {
+  if (text.empty() || text.size() > 18) return false;
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  *out = value;
+  return true;
+}
+
+bool parseErrno(std::string_view text, std::uint64_t* out) {
+  static const std::map<std::string_view, int> names = {
+      {"eintr", EINTR},       {"eagain", EAGAIN},
+      {"econnreset", ECONNRESET}, {"econnaborted", ECONNABORTED},
+      {"enospc", ENOSPC},     {"eio", EIO},
+      {"emfile", EMFILE},     {"epipe", EPIPE},
+      {"etimedout", ETIMEDOUT},
+  };
+  const auto it = names.find(text);
+  if (it != names.end()) {
+    *out = static_cast<std::uint64_t>(it->second);
+    return true;
+  }
+  return parseUint(text, out);
+}
+
+// Parses one `name=action[*trigger]` entry into (*outName, *outSpec).
+bool parseEntry(std::string_view entry, std::string* outName, Spec* outSpec,
+                std::string* error) {
+  const auto fail = [&](const std::string& what) {
+    if (error) *error = "failpoint entry '" + std::string(entry) + "': " + what;
+    return false;
+  };
+  const std::size_t eq = entry.find('=');
+  if (eq == std::string_view::npos) return fail("missing '='");
+  const std::string_view siteName = entry.substr(0, eq);
+  if (!known(siteName))
+    return fail("unknown site '" + std::string(siteName) + "'");
+  std::string_view rest = entry.substr(eq + 1);
+
+  Spec spec;
+  std::string_view action = rest;
+  const std::size_t star = rest.find('*');
+  if (star != std::string_view::npos) {
+    action = rest.substr(0, star);
+    const std::string_view trigger = rest.substr(star + 1);
+    if (trigger == "once") {
+      spec.trigger = Trigger::kOnce;
+    } else if (trigger.rfind("times-", 0) == 0) {
+      spec.trigger = Trigger::kTimes;
+      if (!parseUint(trigger.substr(6), &spec.n) || spec.n == 0)
+        return fail("bad times-N trigger");
+    } else if (trigger.rfind("every-", 0) == 0) {
+      spec.trigger = Trigger::kEveryN;
+      if (!parseUint(trigger.substr(6), &spec.n) || spec.n == 0)
+        return fail("bad every-N trigger");
+    } else if (trigger.rfind("rand-", 0) == 0) {
+      spec.trigger = Trigger::kRandom;
+      std::string_view tail = trigger.substr(5);
+      const std::size_t dash = tail.find('-');
+      std::uint64_t seed = 1;
+      if (dash != std::string_view::npos) {
+        if (!parseUint(tail.substr(dash + 1), &seed) || seed == 0)
+          return fail("bad rand seed");
+        tail = tail.substr(0, dash);
+      }
+      if (!parseUint(tail, &spec.n) || spec.n == 0 || spec.n > 100)
+        return fail("bad rand percent (1..100)");
+      spec.seed = static_cast<std::uint32_t>(seed);
+    } else {
+      return fail("unknown trigger '" + std::string(trigger) + "'");
+    }
+  }
+
+  std::string_view argText;
+  const std::size_t colon = action.find(':');
+  if (colon != std::string_view::npos) {
+    argText = action.substr(colon + 1);
+    action = action.substr(0, colon);
+  }
+  if (action == "off") {
+    spec.mode = Mode::kOff;
+    if (!argText.empty()) return fail("'off' takes no argument");
+  } else if (action == "error") {
+    spec.mode = Mode::kError;
+    if (!argText.empty() && !parseErrno(argText, &spec.arg))
+      return fail("unknown errno '" + std::string(argText) + "'");
+  } else if (action == "partial") {
+    spec.mode = Mode::kPartial;
+    if (!parseUint(argText, &spec.arg))
+      return fail("'partial' needs :N bytes");
+  } else if (action == "delay") {
+    spec.mode = Mode::kDelay;
+    if (!parseUint(argText, &spec.arg))
+      return fail("'delay' needs :MS milliseconds");
+  } else {
+    return fail("unknown action '" + std::string(action) + "'");
+  }
+  if (!validSpec(spec)) return fail("argument out of range");
+  *outName = std::string(siteName);
+  *outSpec = spec;
+  return true;
+}
+
+// Must be called with registry().mutex held.
+void applyLocked(Registry& reg, const std::string& siteName,
+                 const Spec& spec) {
+  auto it = reg.sites.find(siteName);
+  const bool wasArmed =
+      it != reg.sites.end() && it->second.spec.mode != Mode::kOff;
+  if (spec.mode == Mode::kOff) {
+    if (wasArmed) {
+      it->second.spec = Spec{};
+      detail::gArmed.fetch_sub(1, std::memory_order_relaxed);
+    }
+    return;
+  }
+  SiteState& state = reg.sites[siteName];
+  state.spec = spec;
+  state.armedEvals = 0;
+  state.fired = 0;
+  state.rng = spec.seed == 0 ? 1u : spec.seed;
+  if (!wasArmed) detail::gArmed.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+namespace detail {
+
+Hit evaluate(std::string_view siteName) {
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  const auto it = reg.sites.find(siteName);
+  if (it == reg.sites.end() || it->second.spec.mode == Mode::kOff) return {};
+  SiteState& state = it->second;
+  ++state.armedEvals;
+  ++state.lifetime.evaluations;
+  const Spec& spec = state.spec;
+  bool fire = false;
+  switch (spec.trigger) {
+    case Trigger::kAlways:
+      fire = true;
+      break;
+    case Trigger::kOnce:
+      fire = state.fired == 0;
+      break;
+    case Trigger::kTimes:
+      fire = state.fired < spec.n;
+      break;
+    case Trigger::kEveryN:
+      fire = state.armedEvals % spec.n == 0;
+      break;
+    case Trigger::kRandom:
+      fire = xorshift32(state.rng) % 100 < spec.n;
+      break;
+  }
+  if (!fire) return {};
+  ++state.fired;
+  ++state.lifetime.triggers;
+  return Hit{spec.mode, spec.arg};
+}
+
+}  // namespace detail
+
+void sleepFor(const Hit& hit) {
+  if (hit.mode != Mode::kDelay || hit.arg == 0) return;
+  std::this_thread::sleep_for(
+      std::chrono::milliseconds(std::min<std::uint64_t>(hit.arg, 60000)));
+}
+
+bool set(std::string_view siteName, const Spec& spec) {
+  if (!known(siteName) || !validSpec(spec)) return false;
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  applyLocked(reg, std::string(siteName), spec);
+  return true;
+}
+
+void clear(std::string_view siteName) {
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  const auto it = reg.sites.find(siteName);
+  if (it != reg.sites.end() && it->second.spec.mode != Mode::kOff) {
+    it->second.spec = Spec{};
+    detail::gArmed.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void clearAll() {
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  for (auto& [unused, state] : reg.sites) {
+    if (state.spec.mode != Mode::kOff) {
+      state.spec = Spec{};
+      detail::gArmed.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+bool install(std::string_view schedule, std::string* error) {
+  // Two passes: validate everything, then apply, so a bad entry cannot
+  // leave a half-installed schedule armed.
+  std::vector<std::pair<std::string, Spec>> parsed;
+  std::string_view rest = schedule;
+  while (!rest.empty()) {
+    const std::size_t semi = rest.find(';');
+    const std::string_view entry =
+        semi == std::string_view::npos ? rest : rest.substr(0, semi);
+    rest = semi == std::string_view::npos ? std::string_view{}
+                                          : rest.substr(semi + 1);
+    if (entry.empty()) continue;
+    std::string siteName;
+    Spec spec;
+    if (!parseEntry(entry, &siteName, &spec, error)) return false;
+    parsed.emplace_back(std::move(siteName), spec);
+  }
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  for (const auto& [siteName, spec] : parsed) applyLocked(reg, siteName, spec);
+  return true;
+}
+
+bool installFromEnv(std::string* error) {
+  const char* schedule = std::getenv("EBLOCKS_FAILPOINTS");
+  if (schedule == nullptr || schedule[0] == '\0') return true;
+  return install(schedule, error);
+}
+
+SiteStats stats(std::string_view siteName) {
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  const auto it = reg.sites.find(siteName);
+  return it == reg.sites.end() ? SiteStats{} : it->second.lifetime;
+}
+
+const std::vector<CatalogEntry>& catalog() { return catalogStorage(); }
+
+bool known(std::string_view siteName) {
+  for (const CatalogEntry& entry : catalogStorage())
+    if (entry.name == siteName) return true;
+  return false;
+}
+
+}  // namespace eblocks::core::failpoint

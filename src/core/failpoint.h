@@ -1,0 +1,163 @@
+// Failpoints: named fault-injection sites on every syscall-shaped edge.
+//
+// A failpoint is a compiled-in probe at a place where the real world can
+// fail -- a cache write that hits a full disk, a socket read interrupted
+// by a signal, a peer that stalls mid-frame.  Production code asks
+// `check(name)` before (or instead of) the fragile operation; when the
+// site is armed the probe answers with a fault to simulate, and the
+// surrounding error-handling path runs exactly as it would on the real
+// fault.  The chaos harness (tests/integration/chaos_test.cpp) drives
+// randomized schedules through these probes against a live daemon.
+//
+// Zero cost when disabled: `check()` is a single relaxed atomic load of
+// a process-wide arm counter, no lock, no map lookup, no allocation
+// (bench_micro's `failpoint/disabled/checks` record pins this).  The
+// slow path only runs while at least one site is armed.
+//
+// Activation:
+//   - programmatic: `set(name, spec)` / `clear(name)` / `clearAll()`;
+//   - schedule string: `install("cache.rename=error:eio*once;...")`;
+//   - environment: `installFromEnv()` reads EBLOCKS_FAILPOINTS (the
+//     daemon calls this at startup; library embedders opt in).
+//
+// Schedule grammar (one entry per site, ';'-separated):
+//
+//   entry   := name '=' action [ '*' trigger ]
+//   action  := 'off'
+//            | 'error' [ ':' errno-name-or-number ]   simulated syscall error
+//            | 'partial' ':' N                        clamp the op to N bytes
+//            | 'delay' ':' MS                         sleep MS milliseconds
+//   trigger := 'once'                                 first evaluation only
+//            | 'times-' N                             first N evaluations
+//            | 'every-' N                             every Nth evaluation
+//            | 'rand-' P [ '-' SEED ]                 P% of evaluations,
+//                                                     seeded xorshift32
+//
+// Without a trigger the site fires on every evaluation.  Errno names:
+// eintr, eagain, econnreset, econnaborted, enospc, eio, emfile, epipe,
+// etimedout.  Unknown site names are rejected at install time -- the
+// catalog below is the single source of truth (`eblocksd --failpoints`
+// prints it; docs/robustness.md pins it via the doc-drift check).
+#ifndef EBLOCKS_CORE_FAILPOINT_H_
+#define EBLOCKS_CORE_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace eblocks::core::failpoint {
+
+/// What an armed site injects.
+enum class Mode : std::uint8_t {
+  kOff = 0,
+  kError,    ///< simulate the syscall failing; arg = errno (0 = site default)
+  kPartial,  ///< clamp the operation to arg bytes (>= 1)
+  kDelay,    ///< sleep arg milliseconds before the operation
+};
+
+/// When an armed site fires.
+enum class Trigger : std::uint8_t {
+  kAlways = 0,
+  kOnce,    ///< first evaluation only
+  kTimes,   ///< first n evaluations
+  kEveryN,  ///< every nth evaluation (n >= 1)
+  kRandom,  ///< n% of evaluations, xorshift32 seeded with `seed`
+};
+
+/// An armed site's configuration.
+struct Spec {
+  Mode mode = Mode::kOff;
+  std::uint64_t arg = 0;  ///< errno / byte clamp / milliseconds, per mode
+  Trigger trigger = Trigger::kAlways;
+  std::uint64_t n = 0;        ///< kTimes / kEveryN count, kRandom percent
+  std::uint32_t seed = 1;     ///< kRandom xorshift seed
+};
+
+/// The answer `check()` gives a site: false-y when the site should
+/// proceed normally, otherwise the fault to simulate.
+struct Hit {
+  Mode mode = Mode::kOff;
+  std::uint64_t arg = 0;
+  explicit operator bool() const { return mode != Mode::kOff; }
+};
+
+namespace detail {
+/// Process-wide count of armed sites.  Zero (the norm) short-circuits
+/// check() to a single relaxed load.
+inline std::atomic<int> gArmed{0};
+Hit evaluate(std::string_view name);
+}  // namespace detail
+
+/// Probes the named site.  The disabled fast path is one relaxed atomic
+/// load; call it freely on syscall-shaped edges, never in inner loops.
+inline Hit check(std::string_view name) {
+  if (detail::gArmed.load(std::memory_order_relaxed) == 0) [[likely]]
+    return {};
+  return detail::evaluate(name);
+}
+
+/// Sleeps for a kDelay hit (clamped to 60 s); no-op for other modes.
+void sleepFor(const Hit& hit);
+
+/// Arms `name` with `spec` (replacing any previous arming).  Returns
+/// false (and leaves the site untouched) when `name` is not in the
+/// catalog or the spec is malformed.
+bool set(std::string_view name, const Spec& spec);
+
+/// Disarms one site / every site.
+void clear(std::string_view name);
+void clearAll();
+
+/// Parses and installs a schedule string (grammar above).  Entries are
+/// applied left to right on top of whatever is already armed; `off`
+/// disarms a site.  On a parse error nothing is changed, false is
+/// returned, and *error (when non-null) describes the offending entry.
+bool install(std::string_view schedule, std::string* error = nullptr);
+
+/// install() from the EBLOCKS_FAILPOINTS environment variable.  Returns
+/// true when the variable is unset/empty or installed cleanly.
+bool installFromEnv(std::string* error = nullptr);
+
+/// Per-site counters (monotonic since process start, surviving clear()).
+struct SiteStats {
+  std::uint64_t evaluations = 0;  ///< check() calls while armed
+  std::uint64_t triggers = 0;     ///< evaluations that fired
+};
+SiteStats stats(std::string_view name);
+
+/// The registered catalog, sorted by name.
+struct CatalogEntry {
+  std::string_view name;
+  std::string_view description;
+};
+const std::vector<CatalogEntry>& catalog();
+
+/// True when `name` is a registered site.
+bool known(std::string_view name);
+
+/// Registered site names.  Every name passed to check() in the tree must
+/// appear here -- `eblocksd --failpoints` prints name + description and
+/// the doc-drift check diffs that against docs/robustness.md.
+namespace name {
+inline constexpr const char* kCacheTmpWrite = "cache.tmp.write";
+inline constexpr const char* kCacheTmpTorn = "cache.tmp.torn";
+inline constexpr const char* kCacheFsync = "cache.fsync";
+inline constexpr const char* kCacheRename = "cache.rename";
+inline constexpr const char* kCacheRead = "cache.read";
+inline constexpr const char* kCacheRecordDecode = "cache.record.decode";
+inline constexpr const char* kIoReadNetwork = "io.read.network";
+inline constexpr const char* kIoReadRun = "io.read.run";
+inline constexpr const char* kServerAccept = "server.accept";
+inline constexpr const char* kServerRead = "server.read";
+inline constexpr const char* kServerWrite = "server.write";
+inline constexpr const char* kServerPoll = "server.poll";
+inline constexpr const char* kClientConnect = "client.connect";
+inline constexpr const char* kClientSend = "client.send";
+inline constexpr const char* kClientRecv = "client.recv";
+}  // namespace name
+
+}  // namespace eblocks::core::failpoint
+
+#endif  // EBLOCKS_CORE_FAILPOINT_H_

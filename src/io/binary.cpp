@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "blocks/catalog.h"
+#include "core/failpoint.h"
 #include "io/netlist.h"
 
 namespace eblocks::io {
@@ -333,6 +334,10 @@ std::string writeNetworkBinary(const Network& net) {
 }
 
 Network readNetworkBinary(std::string_view frame) {
+  namespace fp = core::failpoint;
+  if (const fp::Hit hit = fp::check(fp::name::kIoReadNetwork);
+      hit.mode == fp::Mode::kError)
+    throw BinaryError("failpoint: injected network read fault");
   BinaryReader r(frame, SectionTag::kNetwork);
   const std::vector<std::string> strings = readStringTable(r);
 
@@ -471,6 +476,10 @@ std::string writePartitionRunBinary(const partition::PartitionRun& run) {
 }
 
 partition::PartitionRun readPartitionRunBinary(std::string_view frame) {
+  namespace fp = core::failpoint;
+  if (const fp::Hit hit = fp::check(fp::name::kIoReadRun);
+      hit.mode == fp::Mode::kError)
+    throw BinaryError("failpoint: injected partition-run read fault");
   BinaryReader r(frame, SectionTag::kPartitionRun);
   partition::PartitionRun run;
   run.algorithm = std::string(r.str());

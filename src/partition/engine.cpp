@@ -9,6 +9,7 @@
 #include "partition/exhaustive.h"
 #include "partition/fm_refine.h"
 #include "partition/greedy_seed.h"
+#include "partition/ladder.h"
 #include "partition/lns.h"
 #include "partition/paredown.h"
 
@@ -127,6 +128,19 @@ class LnsStrategy final : public Partitioner {
   }
 };
 
+class LadderStrategy final : public Partitioner {
+ public:
+  std::string name() const override { return "ladder"; }
+  std::string description() const override {
+    return "deadline degradation ladder greedy -> fm -> lns -> exact "
+           "B&B; always feasible, run.degradedTier reports the rung";
+  }
+  PartitionRun run(const PartitionProblem& problem,
+                   const EngineOptions& options) const override {
+    return degradationLadder(problem, options);
+  }
+};
+
 class MultiTypePareDownStrategy final : public TypedPartitioner {
  public:
   std::string name() const override { return "paredown"; }
@@ -210,6 +224,7 @@ PartitionerRegistry& PartitionerRegistry::instance() {
     r->add(std::make_unique<GreedySeedStrategy>());
     r->add(std::make_unique<FmStrategy>());
     r->add(std::make_unique<LnsStrategy>());
+    r->add(std::make_unique<LadderStrategy>());
     r->add(std::make_unique<MultiTypePareDownStrategy>());
     r->add(std::make_unique<MultiTypeExhaustiveStrategy>());
     r->add(std::make_unique<MultiTypeFmStrategy>());

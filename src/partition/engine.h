@@ -12,10 +12,12 @@
 // apply uniformly.
 //
 // Registered built-ins -- plain: paredown, aggregation, exhaustive,
-// greedy, fm, lns; multi-type: paredown, exhaustive, fm.  The heuristic
-// chain greedy -> fm -> lns is anytime (each stage refines the last,
-// never worse); `initialIncumbent` feeds any of their solutions back
-// into the exact searches as a warm start.
+// greedy, fm, lns, ladder; multi-type: paredown, exhaustive, fm.  The
+// heuristic chain greedy -> fm -> lns is anytime (each stage refines the
+// last, never worse); `initialIncumbent` feeds any of their solutions
+// back into the exact searches as a warm start; `ladder` climbs the
+// whole chain into the exact B&B under one deadline, tagging how far it
+// got (ladder.h).
 #ifndef EBLOCKS_PARTITION_ENGINE_H_
 #define EBLOCKS_PARTITION_ENGINE_H_
 

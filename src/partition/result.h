@@ -44,6 +44,14 @@ struct PartitionRun {
   /// True when the algorithm gave up (e.g. exhaustive hit its time limit);
   /// `result` then holds the best solution found so far.
   bool timedOut = false;
+  /// Degradation tier, set only by the `ladder` strategy (ladder.h):
+  /// "" when the deadline let the exact search prove optimality,
+  /// otherwise the deepest rung that produced `result` ("exact-anytime",
+  /// "lns", "fm", or "greedy").  A service-level annotation: it rides
+  /// the server's SynthResponse on the wire but is *not* part of the
+  /// io/binary PartitionRun frame (ladder runs are never cached, so no
+  /// record persists it).
+  std::string degradedTier;
   /// Nodes explored (search-effort metric; 0 when not applicable).
   std::uint64_t explored = 0;
   /// Subtrees cut by the admissible lower-bound layer

@@ -17,6 +17,7 @@
 #include <string>
 #include <thread>
 
+#include "core/failpoint.h"
 #include "server/server.h"
 
 namespace {
@@ -46,7 +47,12 @@ Options:
                     rejected with overloaded + retry-after (default 16)
   --cache DIR       attach a persistent solution cache rooted at DIR
   --cache-mem       attach an in-memory solution cache
+  --failpoints      list the registered fault-injection sites and exit
   --help            print this help and exit
+
+Fault injection: set EBLOCKS_FAILPOINTS to a schedule (for example
+"cache.fsync=error:enospc*once;server.read=partial:1*every-3") to arm
+failure sites at startup -- docs/robustness.md has the grammar.
 
 Signals: the first SIGINT/SIGTERM drains gracefully (stop accepting,
 finish in-flight jobs, flush replies); a second signal cancels in-flight
@@ -93,6 +99,14 @@ int main(int argc, char** argv) {
     if (arg == "--help" || arg == "-h") {
       std::fputs(kUsage, stdout);
       return 0;
+    } else if (arg == "--failpoints") {
+      // The drift-checked failpoint catalog (doc-drift:robustness).
+      for (const auto& entry : eblocks::core::failpoint::catalog())
+        std::printf("%-20.*s %.*s\n", static_cast<int>(entry.name.size()),
+                    entry.name.data(),
+                    static_cast<int>(entry.description.size()),
+                    entry.description.data());
+      return 0;
     } else if (arg == "--addr") {
       if (!parseAddr(value(), &options.host, &options.port)) {
         std::fprintf(stderr, "eblocksd: bad --addr (want HOST:PORT)\n");
@@ -120,6 +134,13 @@ int main(int argc, char** argv) {
     }
   }
   options.queueCapacity = static_cast<std::size_t>(queueCapacity);
+
+  std::string fpError;
+  if (!eblocks::core::failpoint::installFromEnv(&fpError)) {
+    std::fprintf(stderr, "eblocksd: bad EBLOCKS_FAILPOINTS: %s\n",
+                 fpError.c_str());
+    return 2;
+  }
 
   if (::pipe(gSignalPipe) != 0) {
     std::perror("eblocksd: pipe");

@@ -13,11 +13,14 @@
 #include <cstring>
 #include <utility>
 
+#include "core/failpoint.h"
 #include "server/protocol.h"
 
 namespace eblocks::server {
 
 namespace {
+
+namespace fp = core::failpoint;
 
 using Clock = std::chrono::steady_clock;
 
@@ -90,8 +93,14 @@ void EventLoop::post(std::function<void()> fn) {
   }
   // A full pipe means wake bytes are already pending, so the loop is
   // guaranteed to wake and drain the queue; EAGAIN is therefore benign.
+  // EINTR is not: a dropped wake byte would strand the posted closure
+  // until the next 1 s tick, so retry until the write lands or the pipe
+  // reports full.
   const char byte = 'w';
-  [[maybe_unused]] const ssize_t n = ::write(wakeWrite_, &byte, 1);
+  ssize_t n;
+  do {
+    n = ::write(wakeWrite_, &byte, 1);
+  } while (n < 0 && errno == EINTR);
 }
 
 void EventLoop::requestStop() { stopping_ = true; }
@@ -128,10 +137,27 @@ void EventLoop::removeConn(std::uint64_t id, bool notify) {
 }
 
 void EventLoop::acceptPending() {
+  // One injected fault per wakeup: a simulated transient errno takes the
+  // same branch the real one would, then the next iteration accepts for
+  // real (the listener is still readable, so nothing is lost).
+  bool injected = false;
   for (;;) {
-    const int fd = ::accept(listenFd_, nullptr, nullptr);
+    int fd = -1;
+    if (!injected) {
+      if (const fp::Hit hit = fp::check(fp::name::kServerAccept);
+          hit.mode == fp::Mode::kError) {
+        injected = true;
+        errno = hit.arg != 0 ? static_cast<int>(hit.arg) : EINTR;
+      } else {
+        fd = ::accept(listenFd_, nullptr, nullptr);
+      }
+    } else {
+      fd = ::accept(listenFd_, nullptr, nullptr);
+    }
     if (fd < 0) {
-      if (errno == EINTR) continue;
+      // ECONNABORTED means *that* connection died in the backlog; the
+      // next one may be fine, so keep draining like EINTR.
+      if (errno == EINTR || errno == ECONNABORTED) continue;
       return;  // EAGAIN / transient error: poll again later
     }
     setNonBlocking(fd);
@@ -149,8 +175,26 @@ void EventLoop::handleReadable(std::uint64_t id) {
   auto it = conns_.find(id);
   if (it == conns_.end()) return;
   char buf[65536];
+  bool injected = false;
   for (;;) {
-    const ssize_t n = ::recv(it->second.fd, buf, sizeof(buf), 0);
+    // One injected fault per wakeup.  A partial read clamps the recv
+    // buffer -- the remaining bytes stay queued in the kernel, exactly
+    // like a real short read, and a later iteration picks them up.
+    std::size_t want = sizeof(buf);
+    bool simulatedError = false;
+    if (!injected) {
+      if (const fp::Hit hit = fp::check(fp::name::kServerRead)) {
+        injected = true;
+        if (hit.mode == fp::Mode::kError) {
+          errno = hit.arg != 0 ? static_cast<int>(hit.arg) : EINTR;
+          simulatedError = true;
+        } else if (hit.mode == fp::Mode::kPartial && hit.arg < want) {
+          want = static_cast<std::size_t>(hit.arg);
+        }
+      }
+    }
+    const ssize_t n =
+        simulatedError ? -1 : ::recv(it->second.fd, buf, want, 0);
     if (n > 0) {
       if (!it->second.closing)
         it->second.in.append(buf, static_cast<std::size_t>(n));
@@ -196,9 +240,26 @@ void EventLoop::handleWritable(std::uint64_t id) {
   const auto it = conns_.find(id);
   if (it == conns_.end()) return;
   Conn& conn = it->second;
+  bool injected = false;
   while (!conn.out.empty()) {
+    // One injected fault per wakeup; a partial send clamps the length,
+    // exercising the partial-write continuation (rest stays buffered).
+    std::size_t len = conn.out.size();
+    bool simulatedError = false;
+    if (!injected) {
+      if (const fp::Hit hit = fp::check(fp::name::kServerWrite)) {
+        injected = true;
+        if (hit.mode == fp::Mode::kError) {
+          errno = hit.arg != 0 ? static_cast<int>(hit.arg) : EINTR;
+          simulatedError = true;
+        } else if (hit.mode == fp::Mode::kPartial && hit.arg < len) {
+          len = static_cast<std::size_t>(hit.arg);
+        }
+      }
+    }
     const ssize_t n =
-        ::send(conn.fd, conn.out.data(), conn.out.size(), MSG_NOSIGNAL);
+        simulatedError ? -1
+                       : ::send(conn.fd, conn.out.data(), len, MSG_NOSIGNAL);
     if (n > 0) {
       conn.out.erase(0, static_cast<std::size_t>(n));
       continue;
@@ -265,7 +326,16 @@ void EventLoop::run() {
     if (timeoutMs < 0) timeoutMs = 0;
     if (timeoutMs > 1000) timeoutMs = 1000;
 
-    const int ready = ::poll(fds.data(), fds.size(), timeoutMs);
+    int ready;
+    if (const fp::Hit hit = fp::check(fp::name::kServerPoll);
+        hit.mode == fp::Mode::kError) {
+      // Simulate poll() failing (default EINTR, the benign signal case;
+      // any other errno exercises the unrecoverable-failure exit).
+      errno = hit.arg != 0 ? static_cast<int>(hit.arg) : EINTR;
+      ready = -1;
+    } else {
+      ready = ::poll(fds.data(), fds.size(), timeoutMs);
+    }
     if (ready < 0 && errno != EINTR) break;  // unrecoverable poll failure
 
     if (ready > 0) {

@@ -51,8 +51,12 @@ struct Job {
   /// otherwise the executor's completion wins.
   std::atomic<bool> finished{false};
   /// Owning connection closed before completion; loop thread only.  The
-  /// result is discarded instead of sent.
+  /// result is discarded instead of sent (but a completed response still
+  /// enters the idempotent-replay table so a retry can collect it).
   bool orphaned = false;
+  /// Content key for the idempotent-replay table, computed at admission
+  /// ("" when the table is disabled); loop thread + executor read-only.
+  std::string idemKey;
   std::chrono::steady_clock::time_point acceptedAt{};
 };
 

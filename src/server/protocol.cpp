@@ -123,6 +123,7 @@ std::string encodeResponse(const SynthResponse& response) {
   w.varint(static_cast<std::uint64_t>(response.innerAfter));
   w.varint(static_cast<std::uint64_t>(response.programmableBlocks));
   w.f64(response.seconds);
+  w.str(response.degradedTier);
   w.str(response.networkFrame);
   w.str(response.runFrame);
   return w.finish(SectionTag::kServerResponse);
@@ -137,6 +138,7 @@ SynthResponse decodeResponse(std::string_view frame) {
   p.innerAfter = checkedInt(r.varint(), "innerAfter");
   p.programmableBlocks = checkedInt(r.varint(), "programmableBlocks");
   p.seconds = r.f64();
+  p.degradedTier = std::string(r.str());
   p.networkFrame = std::string(r.str());
   p.runFrame = std::string(r.str());
   requireEnd(r, "response");

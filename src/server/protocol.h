@@ -89,6 +89,11 @@ struct SynthResponse {
   int innerAfter = 0;
   int programmableBlocks = 0;
   double seconds = 0.0;  ///< partitioning wall time (informational)
+  /// Degradation tier of the result ("" = exact/undegraded).  Set only
+  /// by the `ladder` strategy when the deadline stopped it short of a
+  /// proven optimum: "exact-anytime", "lns", "fm", or "greedy" -- the
+  /// deepest rung the deadline allowed (see docs/robustness.md).
+  std::string degradedTier;
   std::string networkFrame;  ///< synthesized network (kNetwork frame)
   std::string runFrame;      ///< partition::PartitionRun (kPartitionRun)
 };

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstring>
 #include <exception>
 
+#include "cache/canonical_hash.h"
 #include "io/binary.h"
 #include "partition/engine.h"
 #include "synth/synthesizer.h"
@@ -16,6 +18,48 @@ using Clock = std::chrono::steady_clock;
 
 double secondsSince(Clock::time_point t0) {
   return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+std::uint64_t mixIn(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  return h;
+}
+
+std::uint64_t fnv1a64(std::string_view bytes) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// Content key for the idempotent-replay table: a hash of the *exact
+/// request bytes* modulo the client-chosen id -- the network frame
+/// verbatim, plus every option knob (including the ones the PR 8
+/// optionsFingerprint deliberately normalizes away as pure
+/// accelerators: time limit, threads, pruning, useCache).  Replay
+/// identity must mean "the same request", nothing looser: the PR 8
+/// structureHash is name-invariant by design (isomorphic designs like
+/// the Table-1 Ignition Illuminator / Night Lamp Controller pair
+/// collide on it), and an answer for one must never be replayed for
+/// the other -- their synthesized networks carry different block
+/// names.  A retrying client resends the identical frame bytes, so
+/// exact-bytes keying still serves the lost-reply scenario it exists
+/// for.
+std::string idempotencyKey(const SynthRequest& request) {
+  std::uint64_t fp = fnv1a64(request.algorithm);
+  fp = mixIn(fp, static_cast<std::uint64_t>(request.inputs));
+  fp = mixIn(fp, static_cast<std::uint64_t>(request.outputs));
+  std::uint64_t limitBits = 0;
+  static_assert(sizeof(limitBits) == sizeof(request.timeLimitSeconds));
+  std::memcpy(&limitBits, &request.timeLimitSeconds, sizeof(limitBits));
+  fp = mixIn(fp, limitBits);
+  fp = mixIn(fp, static_cast<std::uint64_t>(request.threads));
+  fp = mixIn(fp, request.prune ? 1u : 0u);
+  fp = mixIn(fp, request.useCache ? 3u : 2u);
+  const cache::Hash128 key{fnv1a64(request.networkFrame), fp};
+  return cache::toHex(key);
 }
 
 }  // namespace
@@ -186,6 +230,25 @@ void Server::handleRequest(std::uint64_t conn, std::string_view frame) {
     badRequest(std::string("bad network payload: ") + e.what());
     return;
   }
+  if (options_.idempotencyBytes > 0) {
+    job->idemKey = idempotencyKey(request);
+    if (const SynthResponse* done = findRemembered(job->idemKey)) {
+      // A retry of a request this server already completed (typically
+      // because the first reply was lost to a dropped connection):
+      // replay the stored response under the incoming id.  Byte-for-byte
+      // identical payload to the original -- no recomputation, which
+      // also keeps anytime results (`ladder`) stable across retries.
+      SynthResponse replay = *done;
+      replay.id = request.id;
+      {
+        const std::lock_guard<std::mutex> lock(statsMu_);
+        ++stats_.completed;
+        ++stats_.idempotentReplays;
+      }
+      loop_.send(conn, encodeResponse(replay));
+      return;
+    }
+  }
   job->key = nextJobKey_++;
   job->conn = conn;
   job->request = std::move(request);
@@ -287,7 +350,8 @@ void Server::onTick() {
 }
 
 void Server::finishJob(const std::shared_ptr<Job>& job, std::string reply,
-                       bool asCancelled, bool asFailure) {
+                       bool asCancelled, bool asFailure,
+                       std::shared_ptr<SynthResponse> response) {
   byConnReq_.erase({job->conn, job->request.id});
   jobs_.erase(job->key);
   {
@@ -300,8 +364,49 @@ void Server::finishJob(const std::shared_ptr<Job>& job, std::string reply,
     else
       ++stats_.completed;
   }
+  // Remember every completed response -- orphaned ones included: the
+  // client whose connection died mid-job is exactly the one that will
+  // retry, and the table is what turns that retry into a replay.
+  if (response) rememberResponse(job->idemKey, *response);
   if (!job->orphaned) loop_.send(job->conn, std::move(reply));
   maybeFinishDrain();
+}
+
+const SynthResponse* Server::findRemembered(const std::string& key) {
+  if (key.empty()) return nullptr;
+  const auto it = remembered_.find(key);
+  if (it == remembered_.end()) return nullptr;
+  it->second.lastUse = ++rememberedClock_;
+  return &it->second.response;
+}
+
+void Server::rememberResponse(const std::string& key,
+                              const SynthResponse& response) {
+  if (key.empty() || options_.idempotencyBytes == 0) return;
+  const std::uint64_t bytes = sizeof(RememberedResponse) +
+                              response.networkFrame.size() +
+                              response.runFrame.size() +
+                              response.degradedTier.size();
+  if (bytes > options_.idempotencyBytes) return;  // would evict everything
+  const auto existing = remembered_.find(key);
+  if (existing != remembered_.end()) {
+    rememberedBytes_ -= existing->second.bytes;
+    remembered_.erase(existing);
+  }
+  while (!remembered_.empty() &&
+         rememberedBytes_ + bytes > options_.idempotencyBytes) {
+    auto lru = remembered_.begin();
+    for (auto it = remembered_.begin(); it != remembered_.end(); ++it)
+      if (it->second.lastUse < lru->second.lastUse) lru = it;
+    rememberedBytes_ -= lru->second.bytes;
+    remembered_.erase(lru);
+  }
+  RememberedResponse entry;
+  entry.response = response;
+  entry.bytes = bytes;
+  entry.lastUse = ++rememberedClock_;
+  rememberedBytes_ += bytes;
+  remembered_.emplace(key, std::move(entry));
 }
 
 void Server::maybeFinishDrain() {
@@ -319,6 +424,7 @@ void Server::executorMain() {
       ++stats_.runningNow;
     }
     std::string reply;
+    std::shared_ptr<SynthResponse> completed;
     bool asCancelled = false;
     bool asFailure = false;
     if (job->cancel.load(std::memory_order_relaxed)) {
@@ -351,9 +457,11 @@ void Server::executorMain() {
           response.innerAfter = result.innerAfter;
           response.programmableBlocks = result.programmableBlocks;
           response.seconds = result.run.seconds;
+          response.degradedTier = result.run.degradedTier;
           response.networkFrame = io::writeNetworkBinary(result.network);
           response.runFrame = io::writePartitionRunBinary(result.run);
           reply = encodeResponse(response);
+          completed = std::make_shared<SynthResponse>(std::move(response));
         }
       } catch (const std::exception& e) {
         if (job->cancel.load(std::memory_order_relaxed)) {
@@ -382,9 +490,10 @@ void Server::executorMain() {
       if (stats_.runningNow > 0) --stats_.runningNow;
       continue;
     }
-    loop_.post([this, job, reply = std::move(reply), asCancelled,
-                asFailure]() mutable {
-      finishJob(job, std::move(reply), asCancelled, asFailure);
+    loop_.post([this, job, reply = std::move(reply), asCancelled, asFailure,
+                completed = std::move(completed)]() mutable {
+      finishJob(job, std::move(reply), asCancelled, asFailure,
+                std::move(completed));
     });
   }
 }

@@ -71,6 +71,17 @@ struct ServerOptions {
   /// hands in its own store so interactive `synth` runs and served
   /// requests hit one cache.  Overrides cacheEnabled/cacheDir.
   std::shared_ptr<cache::SolutionStore> store;
+  /// Byte budget of the idempotent-replay table (0 disables it): an LRU
+  /// of completed responses keyed on the request's exact *content* --
+  /// the network frame bytes verbatim plus every option knob, which is
+  /// everything except the client-chosen id -- so a client retrying a
+  /// request whose first reply was lost in transit gets the completed
+  /// answer replayed byte-identically instead of recomputed.  Distinct
+  /// from the solution cache: it keys on exact request bytes (never the
+  /// rename-invariant structure hash -- isomorphic designs synthesize
+  /// to differently-named networks and must not replay each other),
+  /// works for every algorithm including `ladder`, and never persists.
+  std::uint64_t idempotencyBytes = 32ull << 20;
 };
 
 /// Monotonic counters plus live gauges; stats() returns a snapshot.
@@ -84,6 +95,9 @@ struct ServerStats {
   std::uint64_t protocolErrors = 0; ///< kBadFrame closes
   std::uint64_t cancelled = 0;      ///< kCancelled replies + orphaned jobs
   std::uint64_t synthFailed = 0;
+  /// Requests answered from the idempotent-replay table (these also
+  /// count as completed; they never touch the queue or an executor).
+  std::uint64_t idempotentReplays = 0;
   std::uint64_t connectionsNow = 0;
   std::uint64_t queuedNow = 0;
   std::uint64_t runningNow = 0;
@@ -128,9 +142,14 @@ class Server {
   void sendError(std::uint64_t conn, std::uint64_t id, ErrorCode code,
                  std::string message, std::uint64_t retryAfterMs = 0);
   void finishJob(const std::shared_ptr<Job>& job, std::string reply,
-                 bool asCancelled, bool asFailure);
+                 bool asCancelled, bool asFailure,
+                 std::shared_ptr<SynthResponse> response);
   void maybeFinishDrain();
   void executorMain();
+  /// Loop-thread only: completed-response table bookkeeping.
+  void rememberResponse(const std::string& key,
+                        const SynthResponse& response);
+  const SynthResponse* findRemembered(const std::string& key);
 
   ServerOptions options_;
   EventLoop loop_;
@@ -146,6 +165,16 @@ class Server {
   std::map<std::uint64_t, std::shared_ptr<Job>> jobs_;  ///< by job key
   /// (connection, request id) -> job key, for cancel + duplicate checks.
   std::map<std::pair<std::uint64_t, std::uint64_t>, std::uint64_t> byConnReq_;
+  /// Idempotent-replay table (loop-thread only): content key -> the
+  /// completed response, LRU-bounded by options_.idempotencyBytes.
+  struct RememberedResponse {
+    SynthResponse response;
+    std::uint64_t bytes = 0;
+    std::uint64_t lastUse = 0;
+  };
+  std::map<std::string, RememberedResponse> remembered_;
+  std::uint64_t rememberedBytes_ = 0;
+  std::uint64_t rememberedClock_ = 0;
 
   mutable std::mutex statsMu_;
   ServerStats stats_;

@@ -30,9 +30,12 @@ const char* toString(CacheOutcome o);
 struct SynthOptions {
   partition::ProgBlockSpec spec;  ///< target programmable block
   /// Registry name of the partitioning algorithm that drives synthesis
-  /// ("paredown", "exhaustive", "aggregation", or any strategy added to
-  /// partition::PartitionerRegistry).  synthesize() throws
-  /// std::invalid_argument for unknown names.
+  /// ("paredown", "exhaustive", "aggregation", "ladder", or any strategy
+  /// added to partition::PartitionerRegistry).  synthesize() throws
+  /// std::invalid_argument for unknown names.  With "ladder" the
+  /// result's run.degradedTier reports how far the deadline let the
+  /// degradation ladder climb (partition/ladder.h); ladder runs are
+  /// deliberately never stored in the cache.
   std::string algorithm = "paredown";
   /// Engine knobs forwarded to the selected strategy: time limit, worker
   /// threads, and the PareDown seeding of exhaustive search (on by

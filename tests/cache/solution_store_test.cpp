@@ -21,6 +21,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/failpoint.h"
 #include "designs/library.h"
 #include "io/binary.h"
 #include "partition/engine.h"
@@ -406,6 +407,124 @@ TEST(SolutionStore, EightThreadsHammerOneStore) {
   // Every iteration after the first insert of each design must hit, in
   // both original and relabeled form: 8 threads x 30 iters x 2 lookups.
   EXPECT_GE(s.hits, 8u * 30u * 2u - 8u);
+  fs::remove_all(dir);
+}
+
+// --- failpoint regressions: injected IO faults degrade to a miss ----------
+//
+// The atomic-write contract under fault: any failure between open() and
+// rename() -- ENOSPC, a short write, fsync, the rename itself -- counts
+// one writeFailure, deletes the tmp file, and the caller never sees an
+// error.  A *torn* write that lies about success is the one fault the
+// writer cannot catch; the checksum catches it at read time and the
+// record degrades to a miss.  core/failpoint.h is the injection vehicle.
+
+namespace fp = core::failpoint;
+
+/// Disarms every failpoint on scope exit, so a failing ASSERT cannot
+/// leak an armed site into the rest of the suite.
+struct FailpointGuard {
+  FailpointGuard() { fp::clearAll(); }
+  ~FailpointGuard() { fp::clearAll(); }
+};
+
+TEST(SolutionStore, FailpointEnospcIsADegradedToMissNeverAnError) {
+  const FailpointGuard guard;
+  const std::string dir = freshDir("fp_enospc");
+  const Network net = designs::figure5();
+  const partition::PartitionRun run = runFor(net, "paredown");
+
+  SolutionStore store{StoreOptions{dir}};
+  ASSERT_TRUE(fp::install("cache.tmp.write=error:enospc*once"));
+  store.insert(net, "paredown", {}, {}, run);  // must not throw
+  EXPECT_EQ(store.stats().writeFailures, 1u);
+  // The failed insert left nothing behind -- no record, no tmp litter.
+  EXPECT_EQ(fs::exists(dir) ? std::distance(fs::directory_iterator(dir),
+                                            fs::directory_iterator{})
+                            : 0,
+            0);
+  // Degraded to a miss; the next insert (disk healthy again) lands.
+  store.insert(net, "paredown", {}, {}, run);
+  const auto hit = store.lookup(net, "paredown", {}, {});
+  ASSERT_TRUE(hit.has_value());
+  expectSamePartitions(hit->result, run.result);
+  fs::remove_all(dir);
+}
+
+TEST(SolutionStore, FailpointShortWriteFsyncAndRenameAllDegradeToMiss) {
+  const FailpointGuard guard;
+  const Network net = designs::figure5();
+  const partition::PartitionRun run = runFor(net, "paredown");
+  const char* schedules[] = {
+      "cache.tmp.write=partial:4*once",  // short write, not at EOF
+      "cache.fsync=error:eio*once",      // durability barrier fails
+      "cache.rename=error:eio*once",     // publish fails
+  };
+  int i = 0;
+  for (const char* schedule : schedules) {
+    const std::string dir = freshDir("fp_write" + std::to_string(i++));
+    SolutionStore store{StoreOptions{dir}};
+    ASSERT_TRUE(fp::install(schedule)) << schedule;
+    store.insert(net, "paredown", {}, {}, run);
+    EXPECT_EQ(store.stats().writeFailures, 1u) << schedule;
+    EXPECT_EQ(store.recordCount(), 0u) << schedule;
+    // No tmp file may survive a failed write -- the open()-time sweep
+    // must never be the thing that saves us.
+    for (const auto& entry : fs::directory_iterator(dir))
+      ADD_FAILURE() << schedule << " left " << entry.path();
+    fp::clearAll();
+    fs::remove_all(dir);
+  }
+}
+
+TEST(SolutionStore, FailpointTornRecordIsNeverServed) {
+  const FailpointGuard guard;
+  const std::string dir = freshDir("fp_torn");
+  const Network net = designs::figure5();
+  const partition::PartitionRun run = runFor(net, "paredown");
+  {
+    SolutionStore store{StoreOptions{dir}};
+    // The write tears to 8 bytes but reports success: the record is
+    // published damaged, exactly like a crash between write and fsync
+    // on a lying disk.
+    ASSERT_TRUE(fp::install("cache.tmp.torn=partial:8*once"));
+    store.insert(net, "paredown", {}, {}, run);
+    EXPECT_EQ(store.stats().writeFailures, 0u);  // the writer was lied to
+  }
+  fp::clearAll();
+  // A fresh store indexes the directory; the torn record must degrade
+  // to a miss (counted corrupt), never be served, never crash.
+  SolutionStore reopened{StoreOptions{dir}};
+  const auto hit = reopened.lookup(net, "paredown", {}, {});
+  EXPECT_FALSE(hit.has_value());
+  EXPECT_GE(reopened.stats().corrupt + reopened.stats().misses, 1u);
+  fs::remove_all(dir);
+}
+
+TEST(SolutionStore, FailpointReadFaultsDegradeToMissThenRecover) {
+  const FailpointGuard guard;
+  const std::string dir = freshDir("fp_read");
+  const Network net = designs::figure5();
+  const partition::PartitionRun run = runFor(net, "paredown");
+  SolutionStore store{StoreOptions{dir}};
+  store.insert(net, "paredown", {}, {}, run);
+
+  ASSERT_TRUE(fp::install("cache.read=error:eio*once"));
+  EXPECT_FALSE(store.lookup(net, "paredown", {}, {}).has_value());
+
+  ASSERT_TRUE(fp::install("cache.read=partial:6*once"));
+  EXPECT_FALSE(store.lookup(net, "paredown", {}, {}).has_value());
+
+  ASSERT_TRUE(fp::install("cache.record.decode=error*once"));
+  EXPECT_FALSE(store.lookup(net, "paredown", {}, {}).has_value());
+
+  // All faults cleared: if the read faults dropped the entry, the next
+  // insert restores it; either way the store still works.
+  fp::clearAll();
+  store.insert(net, "paredown", {}, {}, run);
+  const auto healthy = store.lookup(net, "paredown", {}, {});
+  ASSERT_TRUE(healthy.has_value());
+  expectSamePartitions(healthy->result, run.result);
   fs::remove_all(dir);
 }
 

@@ -1,0 +1,182 @@
+// The failpoint subsystem: schedule grammar, trigger semantics, the
+// zero-cost disabled fast path, and the install/clear lifecycle.
+#include "core/failpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <chrono>
+#include <string>
+
+namespace eblocks::core::failpoint {
+namespace {
+
+// Every test starts and ends disarmed; the suite must never leak an
+// armed site into another test binary's process state.
+class Failpoint : public ::testing::Test {
+ protected:
+  void SetUp() override { clearAll(); }
+  void TearDown() override { clearAll(); }
+};
+
+TEST_F(Failpoint, DisabledCheckIsFalsy) {
+  EXPECT_FALSE(check(name::kCacheRename));
+  EXPECT_FALSE(check(name::kServerRead));
+  // Unknown names are fine at check() time (the load short-circuits);
+  // only install/set validate against the catalog.
+  EXPECT_FALSE(check("no.such.site"));
+}
+
+TEST_F(Failpoint, SetFiresAndClearStops) {
+  Spec spec;
+  spec.mode = Mode::kError;
+  spec.arg = EIO;
+  ASSERT_TRUE(set(name::kCacheRename, spec));
+  const Hit hit = check(name::kCacheRename);
+  ASSERT_TRUE(hit);
+  EXPECT_EQ(hit.mode, Mode::kError);
+  EXPECT_EQ(hit.arg, static_cast<std::uint64_t>(EIO));
+  // Other sites stay cold.
+  EXPECT_FALSE(check(name::kCacheFsync));
+  clear(name::kCacheRename);
+  EXPECT_FALSE(check(name::kCacheRename));
+}
+
+TEST_F(Failpoint, RejectsUnknownSiteAndBadSpec) {
+  Spec spec;
+  spec.mode = Mode::kError;
+  EXPECT_FALSE(set("no.such.site", spec));
+  Spec zeroPartial;
+  zeroPartial.mode = Mode::kPartial;
+  zeroPartial.arg = 0;  // a 0-byte clamp would turn writes into EOFs
+  EXPECT_FALSE(set(name::kServerRead, zeroPartial));
+  EXPECT_FALSE(check(name::kServerRead));
+}
+
+TEST_F(Failpoint, OnceTriggerFiresExactlyOnce) {
+  ASSERT_TRUE(install("cache.rename=error:eio*once"));
+  EXPECT_TRUE(check(name::kCacheRename));
+  EXPECT_FALSE(check(name::kCacheRename));
+  EXPECT_FALSE(check(name::kCacheRename));
+}
+
+TEST_F(Failpoint, TimesTriggerFiresFirstN) {
+  ASSERT_TRUE(install("server.read=error:eintr*times-3"));
+  int fired = 0;
+  for (int i = 0; i < 10; ++i)
+    if (check(name::kServerRead)) ++fired;
+  EXPECT_EQ(fired, 3);
+}
+
+TEST_F(Failpoint, EveryNTriggerIsPeriodic) {
+  ASSERT_TRUE(install("client.recv=partial:1*every-3"));
+  // Fires on the 3rd, 6th, 9th, 12th evaluation.
+  int fired = 0;
+  for (int i = 0; i < 12; ++i)
+    if (check(name::kClientRecv)) ++fired;
+  EXPECT_EQ(fired, 4);
+}
+
+TEST_F(Failpoint, RandomTriggerIsSeededAndDeterministic) {
+  ASSERT_TRUE(install("server.write=error:epipe*rand-50-7"));
+  std::string pattern1;
+  for (int i = 0; i < 64; ++i)
+    pattern1 += check(name::kServerWrite) ? '1' : '0';
+  clearAll();
+  ASSERT_TRUE(install("server.write=error:epipe*rand-50-7"));
+  std::string pattern2;
+  for (int i = 0; i < 64; ++i)
+    pattern2 += check(name::kServerWrite) ? '1' : '0';
+  EXPECT_EQ(pattern1, pattern2) << "same seed must replay the same faults";
+  EXPECT_NE(pattern1.find('1'), std::string::npos);
+  EXPECT_NE(pattern1.find('0'), std::string::npos);
+}
+
+TEST_F(Failpoint, ScheduleInstallsMultipleEntriesAtomically) {
+  ASSERT_TRUE(install(
+      "cache.fsync=error:enospc*once;server.read=partial:2;client.send=off"));
+  EXPECT_TRUE(check(name::kCacheFsync));
+  const Hit partial = check(name::kServerRead);
+  ASSERT_TRUE(partial);
+  EXPECT_EQ(partial.mode, Mode::kPartial);
+  EXPECT_EQ(partial.arg, 2u);
+  EXPECT_FALSE(check(name::kClientSend));
+
+  // A bad entry anywhere rejects the whole schedule: nothing changes.
+  clearAll();
+  std::string error;
+  EXPECT_FALSE(install("server.read=partial:2;bogus.site=error", &error));
+  EXPECT_NE(error.find("bogus.site"), std::string::npos) << error;
+  EXPECT_FALSE(check(name::kServerRead));
+}
+
+TEST_F(Failpoint, InstallParsesNamedAndNumericErrnos) {
+  ASSERT_TRUE(install("server.accept=error:econnaborted"));
+  EXPECT_EQ(check(name::kServerAccept).arg,
+            static_cast<std::uint64_t>(ECONNABORTED));
+  ASSERT_TRUE(install("server.accept=error:11"));
+  EXPECT_EQ(check(name::kServerAccept).arg, 11u);
+  std::string error;
+  EXPECT_FALSE(install("server.accept=error:notanerrno", &error));
+}
+
+TEST_F(Failpoint, OffEntryDisarmsASite) {
+  ASSERT_TRUE(install("cache.read=error:eio"));
+  EXPECT_TRUE(check(name::kCacheRead));
+  ASSERT_TRUE(install("cache.read=off"));
+  EXPECT_FALSE(check(name::kCacheRead));
+}
+
+TEST_F(Failpoint, StatsCountEvaluationsAndTriggers) {
+  const SiteStats before = stats(name::kIoReadNetwork);
+  ASSERT_TRUE(install("io.read.network=error*times-2"));
+  for (int i = 0; i < 5; ++i) (void)check(name::kIoReadNetwork);
+  const SiteStats after = stats(name::kIoReadNetwork);
+  EXPECT_EQ(after.evaluations - before.evaluations, 5u);
+  EXPECT_EQ(after.triggers - before.triggers, 2u);
+}
+
+TEST_F(Failpoint, DelayHitSleeps) {
+  ASSERT_TRUE(install("client.recv=delay:30*once"));
+  const Hit hit = check(name::kClientRecv);
+  ASSERT_TRUE(hit);
+  EXPECT_EQ(hit.mode, Mode::kDelay);
+  const auto t0 = std::chrono::steady_clock::now();
+  sleepFor(hit);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - t0);
+  EXPECT_GE(elapsed.count(), 25);
+  // sleepFor() ignores non-delay hits.
+  Hit errorHit;
+  errorHit.mode = Mode::kError;
+  sleepFor(errorHit);  // returns immediately; the test would hang otherwise
+}
+
+TEST_F(Failpoint, CatalogIsSortedAndMatchesKnown) {
+  const auto& entries = catalog();
+  ASSERT_FALSE(entries.empty());
+  for (std::size_t i = 1; i < entries.size(); ++i)
+    EXPECT_LT(entries[i - 1].name, entries[i].name);
+  for (const auto& entry : entries) {
+    EXPECT_TRUE(known(entry.name)) << entry.name;
+    EXPECT_FALSE(entry.description.empty()) << entry.name;
+  }
+  EXPECT_FALSE(known("no.such.site"));
+}
+
+TEST_F(Failpoint, InstallFromEnvHonorsUnsetAndBadValues) {
+  ::unsetenv("EBLOCKS_FAILPOINTS");
+  EXPECT_TRUE(installFromEnv());
+  ::setenv("EBLOCKS_FAILPOINTS", "cache.rename=error:eio*once", 1);
+  EXPECT_TRUE(installFromEnv());
+  EXPECT_TRUE(check(name::kCacheRename));
+  clearAll();
+  ::setenv("EBLOCKS_FAILPOINTS", "garbage", 1);
+  std::string error;
+  EXPECT_FALSE(installFromEnv(&error));
+  EXPECT_FALSE(error.empty());
+  ::unsetenv("EBLOCKS_FAILPOINTS");
+}
+
+}  // namespace
+}  // namespace eblocks::core::failpoint

@@ -17,7 +17,7 @@ TEST(Engine, BuiltInsAreRegistered) {
   const auto& registry = PartitionerRegistry::instance();
   EXPECT_EQ(registry.names(),
             (std::vector<std::string>{"aggregation", "exhaustive", "fm",
-                                      "greedy", "lns", "paredown"}));
+                                      "greedy", "ladder", "lns", "paredown"}));
   EXPECT_EQ(registry.typedNames(),
             (std::vector<std::string>{"exhaustive", "fm", "paredown"}));
   for (const std::string& name : registry.names()) {

@@ -52,6 +52,7 @@ TEST(Protocol, ResponseRoundTrip) {
   in.innerAfter = 4;
   in.programmableBlocks = 2;
   in.seconds = 0.125;
+  in.degradedTier = "lns";
   in.networkFrame = "fake-network-frame-bytes";
   in.runFrame = "fake-run-frame-bytes";
   const SynthResponse out = decodeResponse(encodeResponse(in));
@@ -61,8 +62,13 @@ TEST(Protocol, ResponseRoundTrip) {
   EXPECT_EQ(out.innerAfter, in.innerAfter);
   EXPECT_EQ(out.programmableBlocks, in.programmableBlocks);
   EXPECT_EQ(out.seconds, in.seconds);
+  EXPECT_EQ(out.degradedTier, in.degradedTier);
   EXPECT_EQ(out.networkFrame, in.networkFrame);
   EXPECT_EQ(out.runFrame, in.runFrame);
+
+  // The undegraded norm: the field defaults empty and round-trips empty.
+  in.degradedTier.clear();
+  EXPECT_EQ(decodeResponse(encodeResponse(in)).degradedTier, "");
 }
 
 TEST(Protocol, ProgressRoundTrip) {

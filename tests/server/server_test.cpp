@@ -165,8 +165,11 @@ TEST(Server, BackpressureRejectsButNeverDropsAccepted) {
   // One executor, queue of one: firing five slow jobs at once must
   // overflow -- the overflow gets kOverloaded with a retry hint, and
   // every *accepted* job still completes.  Retrying on the hint
-  // eventually lands every request.
+  // eventually lands every request.  The replay table would answer the
+  // identical re-submits without ever touching the queue, hiding the
+  // backpressure under test -- disable it.
   ServerOptions options = quickOptions(1, 1);
+  options.idempotencyBytes = 0;
   Server server(options);
   std::string error;
   ASSERT_TRUE(server.start(&error)) << error;
@@ -397,6 +400,10 @@ TEST(Server, DisconnectMidJobCancelsAndServerSurvives) {
 TEST(Server, SharedCacheBehindTheWire) {
   ServerOptions options = quickOptions(1, 4);
   options.cacheEnabled = true;  // in-memory store shared by all requests
+  // The replay table would answer the identical warm request before the
+  // solution cache ever saw it; this test is about the cache, so turn
+  // replays off (server_test below covers them separately).
+  options.idempotencyBytes = 0;
   Server server(options);
   std::string error;
   ASSERT_TRUE(server.start(&error)) << error;
